@@ -1,0 +1,94 @@
+// Experiment E11 — Sec. 4.3 ablation: cache blocking of the evaluation
+// point loop.
+//
+// "Cache exploitation can be improved by ... blocking ... on the set of
+// evaluation points and each block is processed after the j and l loops.
+// The optimization is based on the fact that a subspace ... is needed by
+// all the evaluations and is already present in cache."
+// The harness measures plain per-point evaluation against the blocked
+// variant over a range of block sizes, on a grid sized to exceed L2, and
+// cross-checks the effect with the cache simulator's measured misses.
+#include "bench_common.hpp"
+#include "csg/baselines/generic_algorithms.hpp"
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/memsim/traced_storages.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace {
+
+using namespace csg;
+using csg::bench::Args;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto d = static_cast<dim_t>(args.get_int("--dims", 6));
+  const auto level = static_cast<level_t>(args.get_int("--level", 8));
+  const auto points = static_cast<std::size_t>(args.get_int("--points", 4096));
+
+  csg::bench::print_header(
+      "bench_ablation_blocking: evaluation with and without blocking on "
+      "the evaluation points",
+      "Sec. 4.3 (subspace reuse across a block of evaluation points)");
+
+  CompactStorage storage(d, level);
+  storage.sample(workloads::parabola_product(d).f);
+  hierarchize(storage);
+  std::printf("grid: d=%u level=%u, %llu points (%.1f MB of coefficients), "
+              "%zu evaluation points\n\n",
+              d, level,
+              static_cast<unsigned long long>(storage.size()),
+              static_cast<double>(storage.size()) * 8 / 1e6, points);
+
+  const auto pts = workloads::uniform_points(d, points, 21);
+  const double plain_s =
+      csg::bench::time_s([&] { (void)evaluate_many(storage, pts); });
+  std::printf("%-18s %10.4f s   (1.00x)\n", "unblocked", plain_s);
+  for (std::size_t block : {16u, 64u, 256u, 1024u}) {
+    const double s = csg::bench::time_s(
+        [&] { (void)evaluate_many_blocked(storage, pts, block); });
+    std::printf("block size %-7zu %10.4f s   (%.2fx)\n", block, s,
+                plain_s / s);
+  }
+
+  std::printf("\n(note: wall-clock gains depend on the coefficient array "
+              "exceeding this host's last-level cache; on machines with "
+              "very large LLCs the effect only shows at paper-scale "
+              "grids)\n");
+
+  // Cache-simulated cross-check on a Barcelona-sized cache (the paper's
+  // Opteron testbed), where the 1.1 MB coefficient array exceeds the
+  // 512 KB L2: DRAM lines per evaluation, per-point order vs the blocked
+  // subspace-major order of Sec. 4.3.
+  const std::size_t sim_points = std::min<std::size_t>(points, 512);
+  const auto sim_pts = workloads::uniform_points(d, sim_points, 21);
+  auto dram_per_eval = [&](bool blocked, std::size_t block) {
+    memsim::CacheHierarchy caches = memsim::CacheHierarchy::barcelona_core();
+    memsim::TracedCompactStorage traced(RegularSparseGrid(d, level), &caches);
+    baselines::sample(traced, workloads::parabola_product(d).f);
+    caches.flush();
+    caches.reset_counters();
+    if (blocked) {
+      (void)baselines::evaluate_many_blocked_iterative(traced, sim_pts, block);
+    } else {
+      for (const CoordVector& x : sim_pts)
+        (void)baselines::evaluate_iterative(traced, x);
+    }
+    return static_cast<double>(caches.memory_accesses()) /
+           static_cast<double>(sim_points);
+  };
+  std::printf("\ncache-simulated DRAM lines per evaluation (512 KB L2, "
+              "coefficients %.1f MB):\n",
+              static_cast<double>(storage.size()) * 8 / 1e6);
+  std::printf("  per-point order:   %10.1f\n", dram_per_eval(false, 0));
+  for (std::size_t block : {16u, 64u, 256u, 512u})
+    std::printf("  blocked (B=%4zu):  %10.1f\n", block,
+                dram_per_eval(true, block));
+  std::printf("\nreading: the subspace-major blocked order divides the "
+              "coefficient traffic by ~B, which is why evaluation stays "
+              "compute-bound in Fig. 11b.\n");
+  return 0;
+}

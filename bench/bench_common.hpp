@@ -1,0 +1,75 @@
+// Shared plumbing for the experiment harness: flag parsing, wall-clock
+// timing, and aligned table printing. Every bench binary regenerates one
+// table or figure of the paper (see DESIGN.md §4) and prints the same
+// rows/series the paper reports.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace csg::bench {
+
+/// Minimal --flag value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv) : args_(argv + 1, argv + argc) {}
+
+  bool has(const std::string& flag) const {
+    for (const std::string& a : args_)
+      if (a == flag) return true;
+    return false;
+  }
+
+  long get_int(const std::string& flag, long fallback) const {
+    for (std::size_t k = 0; k + 1 < args_.size(); ++k)
+      if (args_[k] == flag) return std::strtol(args_[k + 1].c_str(), nullptr, 10);
+    return fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// Wall-clock seconds of body(), best effort single run (experiments here
+/// run long enough that one observation is stable).
+inline double time_s(const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Repeat until >= min_seconds total, return seconds per call.
+inline double time_per_call_s(const std::function<void()>& body,
+                              double min_seconds = 0.05) {
+  int calls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    body();
+    ++calls;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < min_seconds);
+  return elapsed / calls;
+}
+
+inline void print_rule(int width = 100) {
+  for (int k = 0; k < width; ++k) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  print_rule();
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  print_rule();
+}
+
+}  // namespace csg::bench

@@ -1,0 +1,107 @@
+// Extension experiment — regular (compact) vs spatially adaptive sparse
+// grids: the flexibility the compact bijection trades away (paper Sec. 7).
+//
+// For a function with a localized sharp feature, surplus-driven adaptivity
+// reaches a target accuracy with a fraction of the regular grid's points;
+// for a globally smooth function the regular grid is competitive and its
+// storage is ~an order of magnitude smaller per point. Both halves of the
+// trade-off are measured.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "csg/adaptive/adaptive_grid.hpp"
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace {
+
+using namespace csg;
+using csg::bench::Args;
+
+workloads::TestFunction spike(dim_t d) {
+  return {"spike", "sharp localized bump at x = 0.31", true, false,
+          [d](const CoordVector& x) {
+            real_t r2 = 0, w = 1;
+            for (dim_t t = 0; t < d; ++t) {
+              const real_t c = x[t] - real_t{0.31};
+              r2 += c * c;
+              w *= 4 * x[t] * (1 - x[t]);
+            }
+            return w * std::exp(-80 * r2);
+          }};
+}
+
+real_t max_error(const std::function<real_t(const CoordVector&)>& approx,
+                 const workloads::TestFunction& f,
+                 const std::vector<CoordVector>& probes) {
+  real_t err = 0;
+  for (const CoordVector& x : probes)
+    err = std::max(err, std::abs(approx(x) - f(x)));
+  return err;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto d = static_cast<dim_t>(args.get_int("--dims", 3));
+
+  csg::bench::print_header(
+      "bench_ext_adaptive: regular compact grid vs surplus-driven adaptive "
+      "refinement",
+      "Sec. 7 (hash structures keep 'the access structures ... suitable "
+      "for adaptive refinement'; the compact structure requires regular "
+      "grids)");
+
+  const auto probes = workloads::halton_points(d, 2000);
+
+  for (const bool use_spike : {true, false}) {
+    const workloads::TestFunction f =
+        use_spike ? spike(d) : workloads::parabola_product(d);
+    std::printf("\ntarget function: %s (%s)\n", f.name.c_str(),
+                f.description.c_str());
+    std::printf("  %-28s %10s %14s %12s\n", "method", "points",
+                "bytes/point", "max error");
+
+    // Regular grids of increasing level.
+    for (level_t n = 4; n <= 7; ++n) {
+      CompactStorage regular(d, n);
+      regular.sample(f.f);
+      hierarchize(regular);
+      const real_t err = max_error(
+          [&](const CoordVector& x) { return evaluate(regular, x); }, f,
+          probes);
+      std::printf("  regular level %-14u %10llu %14.1f %12.3e\n", n,
+                  static_cast<unsigned long long>(regular.size()),
+                  static_cast<double>(regular.memory_bytes()) /
+                      static_cast<double>(regular.size()),
+                  err);
+    }
+
+    // Adaptive refinement under decreasing surplus thresholds. The start
+    // grid must be fine enough to *see* the feature (surplus-driven
+    // refinement cannot react to variation the initial samples miss).
+    for (const real_t eps : {3e-2, 1e-2, 3e-3}) {
+      adaptive::AdaptiveSparseGrid grid(d, 4);
+      grid.adapt(f.f, eps, /*max_points=*/60000);
+      const real_t err = max_error(
+          [&](const CoordVector& x) { return grid.evaluate(x); }, f, probes);
+      std::printf("  adaptive eps=%-10.0e    %10zu %14.1f %12.3e\n", eps,
+                  grid.num_points(),
+                  static_cast<double>(grid.memory_bytes()) /
+                      static_cast<double>(grid.num_points()),
+                  err);
+    }
+  }
+
+  std::printf(
+      "\nreading: on the localized spike the adaptive grid reaches a given "
+      "accuracy with far fewer points; on the smooth function regular "
+      "refinement is competitive — and the compact structure's 8 bytes per "
+      "point beat the hash-backed adaptive node by an order of magnitude. "
+      "That is exactly the flexibility-for-efficiency trade the paper "
+      "makes.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Extension experiment — the paper's Sec. 8 future work, quantified:
+// "we plan to tune our application for Nvidia GPUs based on the Fermi
+// architecture. We expect that the two-level cache, 64 KB level-1 per SM
+// and 768 KB shared level-2, could be beneficial for both sparse grid
+// operations."
+//
+// The same kernels run on the simulated Tesla C1060 (no caches) and Fermi
+// C2050 (16 KB L1 per SM + 768 KB device L2 in the simulator); the cache
+// absorbs part of the coalesced transactions — most effectively the
+// hierarchization's scattered parent reads, whose coarse-group targets are
+// reused by every child subspace.
+#include "bench_common.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/gpusim/kernels.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace {
+
+using namespace csg;
+using namespace csg::gpusim;
+using csg::bench::Args;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto level = static_cast<level_t>(args.get_int("--level", 6));
+  const auto points = static_cast<std::size_t>(args.get_int("--points", 512));
+
+  csg::bench::print_header(
+      "bench_ext_fermi: Tesla C1060 vs Fermi C2050 (two-level cache) on "
+      "both sparse grid operations",
+      "Sec. 8 / conclusion (stated future work, here quantified on the "
+      "simulator)");
+
+  std::printf("%-4s %-8s %12s %12s %10s %12s %12s\n", "d", "op",
+              "tesla (ms)", "fermi (ms)", "speedup", "dram txn T",
+              "cache hits F");
+  for (dim_t d = 4; d <= 10; d += 2) {
+    const auto f = workloads::simulation_field(d);
+    for (const bool eval_op : {false, true}) {
+      double ms[2];
+      PerfCounters counters[2];
+      int k = 0;
+      for (const DeviceSpec& spec : {tesla_c1060(), fermi_c2050()}) {
+        Launcher ln(spec);
+        CompactStorage s(d, level);
+        s.sample(f.f);
+        if (eval_op) {
+          gpu_hierarchize(ln, s);
+          const auto pts = workloads::uniform_points(d, points, 5);
+          GpuRunReport rep;
+          (void)gpu_evaluate(ln, s, pts, &rep);
+          ms[k] = rep.modeled_ms;
+          counters[k] = rep.counters;
+        } else {
+          const GpuRunReport rep = gpu_hierarchize(ln, s);
+          ms[k] = rep.modeled_ms;
+          counters[k] = rep.counters;
+        }
+        ++k;
+      }
+      std::printf("%-4u %-8s %12.3f %12.3f %9.2fx %12llu %11.0f%%\n", d,
+                  eval_op ? "eval" : "hier", ms[0], ms[1], ms[0] / ms[1],
+                  static_cast<unsigned long long>(
+                      counters[0].global_transactions),
+                  counters[1].cache_hit_rate() * 100);
+    }
+  }
+  std::printf("\nbinmat placement revisited on Fermi (the 'tune for Fermi' "
+              "question, hierarchization at d=8):\n");
+  std::printf("  %-14s %14s %14s\n", "binmat", "tesla (ms)", "fermi (ms)");
+  for (const auto [mode, name] :
+       {std::pair{BinmatMode::kConstantCache, "constant"},
+        std::pair{BinmatMode::kSharedMemory, "shared"},
+        std::pair{BinmatMode::kGlobalCached, "global"},
+        std::pair{BinmatMode::kOnTheFly, "on-the-fly"}}) {
+    double ms[2];
+    int k = 0;
+    for (const DeviceSpec& spec : {tesla_c1060(), fermi_c2050()}) {
+      Launcher ln(spec);
+      CompactStorage s(8, level);
+      s.sample(workloads::parabola_product(8).f);
+      GpuConfig cfg;
+      cfg.binmat = mode;
+      ms[k++] = gpu_hierarchize(ln, s, cfg).modeled_ms;
+    }
+    std::printf("  %-14s %14.3f %14.3f\n", name, ms[0], ms[1]);
+  }
+  std::printf("  (global-memory binmat is ruinous on cache-less Tesla but "
+              "competitive behind Fermi's L1 — one less hand-managed "
+              "memory space.)\n");
+
+  std::printf(
+      "\nreading: Fermi's caches absorb a large share of the transactions "
+      "for hierarchization (parent reads reuse coarse groups) and a smaller "
+      "share for evaluation; both operations benefit, as the paper "
+      "anticipated. Fermi also has more SPs and bandwidth, so part of the "
+      "speedup is raw hardware.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Experiments E3/E4 — Fig. 9a/9b: sequential runtime of hierarchization and
+// evaluation per data structure, as a function of the number of dimensions.
+//
+// The paper's i7-920 runs level-11 grids (up to 700 s per hierarchization
+// for the std::map); the harness defaults to level 6 so the whole sweep
+// finishes in well under a minute while preserving the ordering and growth
+// the figure shows. Baselines run the paper's original recursive algorithms
+// (Sec. 3); the compact structure runs the iterative Alg. 6/7 it enables.
+#include "bench_common.hpp"
+#include "csg/baselines/generic_algorithms.hpp"
+#include "csg/baselines/map_storages.hpp"
+#include "csg/baselines/prefix_tree_native.hpp"
+#include "csg/baselines/prefix_tree_storage.hpp"
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace {
+
+using namespace csg;
+using namespace csg::baselines;
+using csg::bench::Args;
+
+struct Timings {
+  double hierarchize_s;
+  double eval_per_point_s;
+};
+
+template <GridStorage S>
+Timings run(dim_t d, level_t n, std::size_t eval_points) {
+  const auto f = workloads::parabola_product(d);
+  S storage(d, n);
+  sample(storage, f.f);
+  const double h = csg::bench::time_s([&] {
+    if constexpr (std::is_same_v<S, CompactStorage>)
+      hierarchize(storage);
+    else if constexpr (std::is_same_v<S, PrefixTreeStorage>)
+      hierarchize_native(storage);  // child-pointer descent, paper-style
+    else
+      hierarchize_recursive(storage);
+  });
+  const auto pts = workloads::uniform_points(d, eval_points, 99);
+  double e;
+  if constexpr (std::is_same_v<S, CompactStorage>) {
+    e = csg::bench::time_s([&] { (void)evaluate_many(storage, pts); });
+  } else if constexpr (std::is_same_v<S, PrefixTreeStorage>) {
+    e = csg::bench::time_s([&] {
+      for (const CoordVector& x : pts) (void)evaluate_native(storage, x);
+    });
+  } else {
+    e = csg::bench::time_s([&] {
+      (void)evaluate_many_recursive(storage, pts);
+    });
+  }
+  return {h, e / static_cast<double>(eval_points)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto level = static_cast<level_t>(args.get_int("--level", 6));
+  const auto points = static_cast<std::size_t>(args.get_int("--points", 2000));
+  const auto d_lo = static_cast<dim_t>(args.get_int("--dmin", 5));
+  const auto d_hi = static_cast<dim_t>(args.get_int("--dmax", 10));
+
+  csg::bench::print_header(
+      "bench_fig9_sequential: sequential hierarchization & evaluation "
+      "runtimes per data structure",
+      "Fig. 9a (hierarchization) and Fig. 9b (time per evaluation), i7-920");
+  std::printf("level %u grids, %zu evaluation points per dimension count\n\n",
+              level, points);
+
+  const char* names[5] = {"compact", "prefix_tree", "enhanced_hash",
+                          "enhanced_map", "std_map"};
+  std::vector<std::array<Timings, 5>> results;
+
+  for (dim_t d = d_lo; d <= d_hi; ++d) {
+    std::array<Timings, 5> row;
+    row[0] = run<CompactStorage>(d, level, points);
+    row[1] = run<PrefixTreeStorage>(d, level, points);
+    row[2] = run<EnhancedHashStorage>(d, level, points);
+    row[3] = run<EnhancedMapStorage>(d, level, points);
+    row[4] = run<StdMapStorage>(d, level, points);
+    results.push_back(row);
+  }
+
+  std::printf("Fig. 9a analogue: sequential hierarchization time (s)\n");
+  std::printf("%-15s", "structure");
+  for (dim_t d = d_lo; d <= d_hi; ++d) std::printf("      d=%-4u", d);
+  std::printf("\n");
+  for (int s = 0; s < 5; ++s) {
+    std::printf("%-15s", names[s]);
+    for (std::size_t k = 0; k < results.size(); ++k)
+      std::printf("  %10.4f", results[k][static_cast<std::size_t>(s)].hierarchize_s);
+    std::printf("\n");
+  }
+
+  std::printf("\nFig. 9b analogue: time per evaluation (us)\n");
+  std::printf("%-15s", "structure");
+  for (dim_t d = d_lo; d <= d_hi; ++d) std::printf("      d=%-4u", d);
+  std::printf("\n");
+  for (int s = 0; s < 5; ++s) {
+    std::printf("%-15s", names[s]);
+    for (std::size_t k = 0; k < results.size(); ++k)
+      std::printf("  %10.3f",
+                  results[k][static_cast<std::size_t>(s)].eval_per_point_s * 1e6);
+    std::printf("\n");
+  }
+
+  std::printf("\nshape checks vs the paper:\n");
+  const auto& last = results.back();
+  std::printf("  compact fastest hierarchization at d=%u: %s\n", d_hi,
+              (last[0].hierarchize_s <= last[2].hierarchize_s &&
+               last[0].hierarchize_s <= last[3].hierarchize_s &&
+               last[0].hierarchize_s <= last[4].hierarchize_s)
+                  ? "yes"
+                  : "NO");
+  // The paper's wording for Fig. 9b: the prefix tree's evaluation is
+  // "very close to the performance obtained with our data structure"
+  // (both exploit the cache; at the paper's level-11 scale compact edges
+  // ahead, at reduced levels the trie's branch pruning can win slightly).
+  std::printf("  compact and prefix_tree evaluation within 2x of each other "
+              "and ahead of both maps at d=%u: %s\n",
+              d_hi,
+              (last[0].eval_per_point_s <= 2 * last[1].eval_per_point_s &&
+               last[1].eval_per_point_s <= 2 * last[0].eval_per_point_s &&
+               last[0].eval_per_point_s < last[3].eval_per_point_s &&
+               last[0].eval_per_point_s < last[4].eval_per_point_s)
+                  ? "yes"
+                  : "NO");
+  std::printf("  std_map slowest hierarchization at d=%u: %s\n", d_hi,
+              (last[4].hierarchize_s >= last[0].hierarchize_s &&
+               last[4].hierarchize_s >= last[1].hierarchize_s)
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Experiment E13 — microbenchmarks of the bijection itself (google-
+// benchmark): gp2idx, idx2gp, the next iterator and subspace ranking.
+// Supports the paper's O(d) claim for gp2idx (Sec. 4.2) with measured
+// per-call times across dimensionality.
+#include <benchmark/benchmark.h>
+
+#include "csg/core/level_enumeration.hpp"
+#include "csg/core/regular_grid.hpp"
+
+namespace {
+
+using namespace csg;
+
+constexpr level_t kLevel = 6;
+
+const RegularSparseGrid& grid_for(dim_t d) {
+  static std::vector<RegularSparseGrid> grids = [] {
+    std::vector<RegularSparseGrid> g;
+    for (dim_t dd = 1; dd <= 12; ++dd) g.emplace_back(dd, kLevel);
+    return g;
+  }();
+  return grids[d - 1];
+}
+
+std::vector<GridPoint> sample_points(const RegularSparseGrid& g) {
+  std::vector<GridPoint> pts;
+  const flat_index_t stride = std::max<flat_index_t>(1, g.num_points() / 512);
+  for (flat_index_t j = 0; j < g.num_points(); j += stride)
+    pts.push_back(g.idx2gp(j));
+  return pts;
+}
+
+void BM_gp2idx(benchmark::State& state) {
+  const auto d = static_cast<dim_t>(state.range(0));
+  const RegularSparseGrid& g = grid_for(d);
+  const auto pts = sample_points(g);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const GridPoint& gp = pts[k++ % pts.size()];
+    benchmark::DoNotOptimize(g.gp2idx(gp.level, gp.index));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_gp2idx)->DenseRange(2, 10, 2);
+
+void BM_idx2gp(benchmark::State& state) {
+  const auto d = static_cast<dim_t>(state.range(0));
+  const RegularSparseGrid& g = grid_for(d);
+  flat_index_t j = 0;
+  const flat_index_t stride = g.num_points() / 509 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.idx2gp(j));
+    j = (j + stride) % g.num_points();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_idx2gp)->DenseRange(2, 10, 2);
+
+void BM_next_level(benchmark::State& state) {
+  const auto d = static_cast<dim_t>(state.range(0));
+  LevelVector l = first_level(d, kLevel - 1);
+  for (auto _ : state) {
+    if (!advance_level(l)) l = first_level(d, kLevel - 1);
+    benchmark::DoNotOptimize(l);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_next_level)->DenseRange(2, 10, 2);
+
+void BM_subspace_index(benchmark::State& state) {
+  const auto d = static_cast<dim_t>(state.range(0));
+  const RegularSparseGrid& g = grid_for(d);
+  std::vector<LevelVector> levels;
+  for (const LevelVector& l : LevelRange(d, kLevel - 1)) levels.push_back(l);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subspace_index(levels[k++ % levels.size()],
+                                            g.binmat()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_subspace_index)->DenseRange(2, 10, 2);
+
+void BM_unrank_subspace(benchmark::State& state) {
+  const auto d = static_cast<dim_t>(state.range(0));
+  const RegularSparseGrid& g = grid_for(d);
+  const std::uint64_t count = num_subspaces(d, kLevel - 1, g.binmat());
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unrank_subspace(d, kLevel - 1, r, g.binmat()));
+    r = (r + 1) % count;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_unrank_subspace)->DenseRange(2, 10, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Convergence study: the approximation-theoretic claim behind the whole
+// technique (Sec. 2) — sparse grids keep near-full-grid accuracy with
+// O(N log^{d-1} N) instead of O(N^d) points for sufficiently smooth f.
+//
+// The study sweeps refinement levels for several functions and dimensions,
+// printing points vs max interpolation error, plus a direct sparse-vs-full
+// comparison in 2d where the full grid is still affordable.
+#include <cmath>
+#include <cstdio>
+
+#include "csg/core.hpp"
+#include "csg/workloads/full_grid.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace {
+
+using namespace csg;
+
+real_t max_error(const CompactStorage& s,
+                 const workloads::TestFunction& f,
+                 const std::vector<CoordVector>& probes) {
+  real_t err = 0;
+  for (const CoordVector& x : probes)
+    err = std::max(err, std::abs(evaluate(s, x) - f(x)));
+  return err;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("sparse grid interpolation error vs refinement level\n");
+  std::printf("(max |f - fs| over 2000 low-discrepancy probe points)\n\n");
+
+  for (const dim_t d : {2u, 3u, 5u}) {
+    const auto probes = workloads::halton_points(d, 2000);
+    std::printf("d = %u\n", d);
+    std::printf("  %-7s %12s", "level", "points");
+    std::vector<workloads::TestFunction> fns = {
+        workloads::parabola_product(d), workloads::gaussian_bump(d),
+        workloads::oscillatory(d)};
+    for (const auto& f : fns) std::printf(" %18s", f.name.c_str());
+    std::printf("\n");
+    for (level_t n = 2; n <= 9 - d / 3; ++n) {
+      std::printf("  %-7u %12llu", n,
+                  static_cast<unsigned long long>(
+                      regular_grid_num_points(d, n)));
+      for (const auto& f : fns) {
+        CompactStorage s(d, n);
+        s.sample(f.f);
+        hierarchize(s);
+        std::printf(" %18.3e", max_error(s, f, probes));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Sparse vs full grid in 2d: similar accuracy, far fewer points.
+  std::printf("sparse vs full grid (d=2, parabola_product):\n");
+  std::printf("  %-7s %15s %15s %18s\n", "level", "sparse points",
+              "full points", "sparse max err");
+  const auto f2 = workloads::parabola_product(2);
+  const auto probes2 = workloads::halton_points(2, 2000);
+  for (level_t n = 3; n <= 9; ++n) {
+    CompactStorage s(2, n);
+    s.sample(f2.f);
+    hierarchize(s);
+    const double full_pts = std::pow((1 << n) - 1, 2);
+    std::printf("  %-7u %15llu %15.0f %18.3e\n", n,
+                static_cast<unsigned long long>(s.size()), full_pts,
+                max_error(s, f2, probes2));
+  }
+  std::printf("\n(full grid error at level n is O(4^-n); the sparse grid "
+              "tracks it with O(n 2^n) instead of O(4^n) points — the "
+              "curse-of-dimensionality mitigation of Sec. 2.)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: compress a 5-dimensional function onto a sparse grid,
+// store it, reload it, and interpolate — the minimal end-to-end tour of
+// the public API.
+//
+//   $ ./quickstart
+//
+// Steps:
+//   1. describe the grid (dimension 5, refinement level 7),
+//   2. sample the function at the grid points (nodal values),
+//   3. hierarchize in place -> hierarchical coefficients ("compress"),
+//   4. serialize / deserialize the compact representation,
+//   5. evaluate anywhere in [0,1]^5 ("decompress").
+#include <cmath>
+#include <cstdio>
+
+#include "csg/core.hpp"
+#include "csg/io/serialize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+int main() {
+  using namespace csg;
+
+  const dim_t d = 5;
+  const level_t n = 7;
+
+  // The function to compress: a smooth zero-boundary test field. Any
+  // real_t(const CoordVector&) works here — e.g. a lookup into your
+  // simulation output.
+  const workloads::TestFunction f = workloads::gaussian_bump(d);
+
+  // 1-2. Grid + nodal samples.
+  CompactStorage grid_function(d, n);
+  grid_function.sample(f.f);
+  std::printf("sparse grid: d=%u, level=%u, %llu points (%.2f MB)\n", d, n,
+              static_cast<unsigned long long>(grid_function.size()),
+              static_cast<double>(grid_function.memory_bytes()) / 1e6);
+  const double full_grid_points = std::pow((1 << n) - 1, d);
+  std::printf("full grid at the same resolution: %.3g points -> compression "
+              "ratio %.0fx\n",
+              full_grid_points,
+              full_grid_points / static_cast<double>(grid_function.size()));
+
+  // 3. Compress: nodal values -> hierarchical coefficients, in place.
+  hierarchize(grid_function);
+
+  // 4. Store and reload (the compact format is just header + coefficients).
+  io::save_file(grid_function, "/tmp/quickstart.csg");
+  const CompactStorage restored = io::load_file("/tmp/quickstart.csg");
+  std::printf("serialized to /tmp/quickstart.csg (%zu bytes)\n",
+              io::serialized_bytes(restored));
+
+  // 5. Decompress: evaluate at arbitrary points.
+  double max_err = 0;
+  for (const CoordVector& x : workloads::halton_points(d, 1000)) {
+    const real_t approx = evaluate(restored, x);
+    max_err = std::max(max_err, std::abs(approx - f(x)));
+  }
+  std::printf("max interpolation error over 1000 probe points: %.2e\n",
+              max_err);
+
+  const CoordVector center(d, 0.5);
+  std::printf("f(0.5,...,0.5) = %.6f, sparse grid says %.6f\n", f(center),
+              evaluate(restored, center));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Sparse grid regression (data mining, one of the application fields the
+// paper's introduction cites): learn a surrogate of an expensive black-box
+// response from scattered, noisy observations — no grid-aligned samples
+// required — then query it interactively.
+//
+// Scenario: a "lab" measures a 4-parameter process response at randomly
+// chosen operating points, with sensor noise. The sparse grid surrogate is
+// fit by regularized least squares (matrix-free conjugate gradients on the
+// compact structure) and then used to locate the operating optimum.
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "csg/core.hpp"
+#include "csg/regression/regression.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace {
+
+using namespace csg;
+
+/// The hidden process response (the example pretends not to know it).
+real_t process_response(const CoordVector& x) {
+  const real_t a = x[0] - 0.62, b = x[1] - 0.44;
+  real_t window = 1;
+  for (dim_t t = 0; t < x.size(); ++t) window *= 4 * x[t] * (1 - x[t]);
+  return window * (1.2 * std::exp(-6 * (a * a + b * b)) +
+                   0.3 * std::sin(4 * x[2]) * x[3]);
+}
+
+}  // namespace
+
+int main() {
+  const dim_t d = 4;
+  const level_t n = 5;
+  const std::size_t samples = 4000;
+  const real_t noise_sigma = 0.01;
+
+  // --- 1. collect noisy scattered observations ---
+  std::mt19937_64 rng(2026);
+  std::normal_distribution<real_t> noise(0, noise_sigma);
+  const auto xs = workloads::uniform_points(d, samples, 13);
+  std::vector<real_t> ys(samples);
+  for (std::size_t m = 0; m < samples; ++m)
+    ys[m] = process_response(xs[m]) + noise(rng);
+  std::printf("collected %zu noisy observations (sigma = %.3f)\n", samples,
+              noise_sigma);
+
+  // --- 2. fit the sparse grid surrogate ---
+  regression::FitOptions opt;
+  opt.lambda = 2e-6;
+  opt.max_iterations = 300;
+  regression::FitReport report;
+  const CompactStorage surrogate =
+      regression::fit(d, n, xs, ys, opt, &report);
+  std::printf("fit %llu coefficients in %d CG iterations "
+              "(rel. residual %.2e, training MSE %.2e ~ noise^2 %.2e)\n",
+              static_cast<unsigned long long>(surrogate.size()),
+              report.iterations, report.relative_residual,
+              report.training_mse, noise_sigma * noise_sigma);
+
+  // --- 3. validate on held-out points ---
+  const auto test = workloads::halton_points(d, 2000);
+  real_t max_err = 0, mse = 0;
+  for (const CoordVector& x : test) {
+    const real_t e = evaluate(surrogate, x) - process_response(x);
+    max_err = std::max(max_err, std::abs(e));
+    mse += e * e;
+  }
+  mse /= static_cast<real_t>(test.size());
+  std::printf("held-out: RMSE %.4f, max error %.4f (response range ~[0, "
+              "1.2])\n",
+              std::sqrt(mse), max_err);
+
+  // --- 4. use the surrogate: gradient-guided search for the optimum ---
+  CoordVector x(d, 0.5);
+  for (int step = 0; step < 200; ++step) {
+    const ValueAndGradient vg = evaluate_with_gradient(surrogate, x);
+    real_t norm = 0;
+    for (dim_t t = 0; t < d; ++t) norm += vg.gradient[t] * vg.gradient[t];
+    if (norm < 1e-10) break;
+    for (dim_t t = 0; t < d; ++t) {
+      x[t] += real_t{0.02} * vg.gradient[t] / std::sqrt(norm);
+      x[t] = std::min(real_t{0.999}, std::max(real_t{0.001}, x[t]));
+    }
+  }
+  std::printf("surrogate ascent ends at (");
+  for (dim_t t = 0; t < d; ++t) std::printf("%s%.3f", t ? ", " : "", x[t]);
+  std::printf(") with predicted %.4f, true %.4f\n",
+              evaluate(surrogate, x), process_response(x));
+  std::printf("(true optimum lies near (0.62, 0.44, ...): the surrogate "
+              "found the basin from noisy scattered data)\n");
+  return 0;
+}

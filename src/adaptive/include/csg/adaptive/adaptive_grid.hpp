@@ -1,0 +1,128 @@
+// Spatially adaptive sparse grids — the flexibility the paper's compact
+// structure deliberately trades away (Sec. 7: hash-based structures "keep
+// the access structures as flexible as possible and suitable for adaptive
+// refinement"; the compact bijection requires REGULAR grids). This module
+// supplies that missing half of the design space so the trade-off can be
+// quantified: a hash-backed grid whose point set grows where the function
+// is rough, driven by the hierarchical surpluses (the standard refinement
+// criterion of Pflüger's cited thesis [3]).
+//
+// Invariant: the point set is closed under 1d hierarchical parents in
+// every dimension. That guarantees (a) surpluses are computable by one
+// ascending-level sweep, and (b) the contributing ancestors of any
+// evaluation point are reachable from the root by single-dimension child
+// steps along the evaluation point's support path.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "csg/core/compact_storage.hpp"
+#include "csg/core/grid_point.hpp"
+
+namespace csg::adaptive {
+
+/// Hashable packed key of a grid point: one word per dimension.
+struct PointKey {
+  std::array<std::uint64_t, kMaxDim> words{};
+  dim_t size = 0;
+
+  friend bool operator==(const PointKey& a, const PointKey& b) {
+    if (a.size != b.size) return false;
+    for (dim_t t = 0; t < a.size; ++t)
+      if (a.words[t] != b.words[t]) return false;
+    return true;
+  }
+};
+
+PointKey make_key(const LevelVector& l, const IndexVector& i);
+
+struct PointKeyHash {
+  std::size_t operator()(const PointKey& k) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ k.size;
+    for (dim_t t = 0; t < k.size; ++t) {
+      h ^= k.words[t] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class AdaptiveSparseGrid {
+ public:
+  struct Node {
+    GridPoint point;
+    real_t nodal = 0;    // f at the point
+    real_t surplus = 0;  // hierarchical coefficient
+  };
+
+  /// Start from the single root point (level (0,..,0), index (1,..,1)).
+  explicit AdaptiveSparseGrid(dim_t d);
+
+  /// Start from the full regular sparse grid of level n.
+  AdaptiveSparseGrid(dim_t d, level_t n);
+
+  dim_t dim() const { return d_; }
+  std::size_t num_points() const { return nodes_.size(); }
+  bool contains(const LevelVector& l, const IndexVector& i) const;
+
+  /// Insert a point together with every missing hierarchical ancestor.
+  /// Returns the number of points actually added.
+  std::size_t insert(const GridPoint& gp);
+
+  /// Insert the 2d children of gp (plus closure). Returns points added.
+  std::size_t refine_point(const GridPoint& gp);
+
+  /// Set nodal values from f at every current point (new points included).
+  void sample(const std::function<real_t(const CoordVector&)>& f);
+
+  /// Recompute all surpluses from the nodal values: one sweep in ascending
+  /// |l|_1 order; alpha_p = nodal_p - interpolant-so-far(x_p). Exact
+  /// because every basis function that is non-zero at x_p belongs to a
+  /// point with strictly smaller level sum.
+  void hierarchize();
+
+  /// Interpolate at x: depth-first walk over the in-grid ancestors of x.
+  real_t evaluate(const CoordVector& x) const;
+
+  std::vector<real_t> evaluate_many(std::span<const CoordVector> pts) const;
+
+  /// One adaptivity step: sample f, hierarchize, then refine every point
+  /// whose |surplus| exceeds epsilon (up to max_refine points, largest
+  /// surpluses first). Returns the number of new points; 0 means
+  /// converged under the criterion.
+  std::size_t refine_by_surplus(
+      const std::function<real_t(const CoordVector&)>& f, real_t epsilon,
+      std::size_t max_refine = 64);
+
+  /// Iterate refine_by_surplus until convergence or the point budget is
+  /// exhausted. Returns the number of adaptivity rounds.
+  std::size_t adapt(const std::function<real_t(const CoordVector&)>& f,
+                    real_t epsilon, std::size_t max_points);
+
+  /// Directly set the stored values of an existing point (used by
+  /// deserialization; refinement workflows should sample/hierarchize).
+  void set_node(const GridPoint& gp, real_t nodal, real_t surplus);
+
+  /// Approximate container footprint (hash nodes + bucket array), for the
+  /// flexibility-vs-memory comparison against CompactStorage.
+  std::size_t memory_bytes() const;
+
+  /// Access every node (unspecified order).
+  template <typename Visitor>
+  void for_each_node(Visitor&& visit) const {
+    for (const auto& [key, node] : nodes_) visit(node);
+  }
+
+  /// Maximum |l|_1 present in the grid.
+  level_t max_level_sum() const;
+
+ private:
+  const Node* find(const LevelVector& l, const IndexVector& i) const;
+
+  dim_t d_;
+  std::unordered_map<PointKey, Node, PointKeyHash> nodes_;
+};
+
+}  // namespace csg::adaptive

@@ -1,0 +1,144 @@
+// The three STL-based baselines of Table 1 / Fig. 8 / Fig. 9:
+//
+//  * StdMapStorage      — "Standard STL map": an std::map keyed by the full
+//    (l, i) multi-index, stored on the heap so that the key really costs
+//    O(d) memory per point, as the paper describes.
+//  * EnhancedMapStorage — "Enhanced STL map": an std::map keyed by the
+//    gp2idx integer, i.e. the bijection is used for key compression but the
+//    container still pays rb-tree nodes and O(log N) traversals.
+//  * EnhancedHashStorage — "Enhanced STL hashtable": an std::unordered_map
+//    keyed by gp2idx; O(d + ...) expected access but bucket + node overhead
+//    and no locality.
+//
+// All three share the byte-metered allocator, so memory_bytes() reports the
+// true container footprint including node bookkeeping.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "csg/baselines/memory_meter.hpp"
+#include "csg/core/regular_grid.hpp"
+
+namespace csg::baselines {
+
+/// Heap-allocated packed multi-index key: one uint64 per dimension holding
+/// (level << 58) | index. Lexicographic comparison of the packed words
+/// orders points by (l, i) pairs dimension-wise.
+using PackedPointKey = std::vector<std::uint64_t>;
+
+inline PackedPointKey pack_point_key(const LevelVector& l,
+                                     const IndexVector& i) {
+  PackedPointKey key(l.size());
+  for (dim_t t = 0; t < l.size(); ++t) {
+    CSG_ASSERT(i[t] < (index1d_t{1} << 58));
+    key[t] = (static_cast<std::uint64_t>(l[t]) << 58) | i[t];
+  }
+  return key;
+}
+
+class StdMapStorage {
+ public:
+  explicit StdMapStorage(RegularSparseGrid grid)
+      : grid_(std::move(grid)), map_(Compare{}, Alloc{&meter_}) {}
+  StdMapStorage(dim_t d, level_t n) : StdMapStorage(RegularSparseGrid(d, n)) {}
+
+  const RegularSparseGrid& grid() const { return grid_; }
+
+  real_t get(const LevelVector& l, const IndexVector& i) const {
+    const auto it = map_.find(pack_point_key(l, i));
+    return it == map_.end() ? real_t{0} : it->second;
+  }
+
+  void set(const LevelVector& l, const IndexVector& i, real_t v) {
+    map_.insert_or_assign(pack_point_key(l, i), v);
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+  /// Container bytes: rb-tree nodes plus the per-point heap key (d words),
+  /// which is what makes this structure's footprint linear in d.
+  std::size_t memory_bytes() const {
+    return meter_.current_bytes() +
+           map_.size() * (grid_.dim() * sizeof(std::uint64_t) +
+                          kHeapChunkOverhead);
+  }
+
+  static const char* name() { return "std_map"; }
+
+ private:
+  using Compare = std::less<PackedPointKey>;
+  using Alloc =
+      MeteredAllocator<std::pair<const PackedPointKey, real_t>>;
+
+  RegularSparseGrid grid_;
+  MemoryMeter meter_;
+  std::map<PackedPointKey, real_t, Compare, Alloc> map_;
+};
+
+class EnhancedMapStorage {
+ public:
+  explicit EnhancedMapStorage(RegularSparseGrid grid)
+      : grid_(std::move(grid)), map_(Compare{}, Alloc{&meter_}) {}
+  EnhancedMapStorage(dim_t d, level_t n)
+      : EnhancedMapStorage(RegularSparseGrid(d, n)) {}
+
+  const RegularSparseGrid& grid() const { return grid_; }
+
+  real_t get(const LevelVector& l, const IndexVector& i) const {
+    const auto it = map_.find(grid_.gp2idx(l, i));
+    return it == map_.end() ? real_t{0} : it->second;
+  }
+
+  void set(const LevelVector& l, const IndexVector& i, real_t v) {
+    map_.insert_or_assign(grid_.gp2idx(l, i), v);
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t memory_bytes() const { return meter_.current_bytes(); }
+  static const char* name() { return "enhanced_map"; }
+
+ private:
+  using Compare = std::less<flat_index_t>;
+  using Alloc = MeteredAllocator<std::pair<const flat_index_t, real_t>>;
+
+  RegularSparseGrid grid_;
+  MemoryMeter meter_;
+  std::map<flat_index_t, real_t, Compare, Alloc> map_;
+};
+
+class EnhancedHashStorage {
+ public:
+  explicit EnhancedHashStorage(RegularSparseGrid grid)
+      : grid_(std::move(grid)),
+        map_(/*bucket_count=*/16, Hash{}, Eq{}, Alloc{&meter_}) {}
+  EnhancedHashStorage(dim_t d, level_t n)
+      : EnhancedHashStorage(RegularSparseGrid(d, n)) {}
+
+  const RegularSparseGrid& grid() const { return grid_; }
+
+  real_t get(const LevelVector& l, const IndexVector& i) const {
+    const auto it = map_.find(grid_.gp2idx(l, i));
+    return it == map_.end() ? real_t{0} : it->second;
+  }
+
+  void set(const LevelVector& l, const IndexVector& i, real_t v) {
+    map_.insert_or_assign(grid_.gp2idx(l, i), v);
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t memory_bytes() const { return meter_.current_bytes(); }
+  static const char* name() { return "enhanced_hash"; }
+
+ private:
+  using Hash = std::hash<flat_index_t>;
+  using Eq = std::equal_to<flat_index_t>;
+  using Alloc = MeteredAllocator<std::pair<const flat_index_t, real_t>>;
+
+  RegularSparseGrid grid_;
+  MemoryMeter meter_;
+  std::unordered_map<flat_index_t, real_t, Hash, Eq, Alloc> map_;
+};
+
+}  // namespace csg::baselines

@@ -1,0 +1,75 @@
+// Byte-exact memory accounting for the Fig. 8 comparison.
+//
+// Every baseline container runs on MeteredAllocator, which charges each
+// allocation to a MemoryMeter: the requested bytes plus a fixed per-chunk
+// heap overhead (glibc malloc stores an 8-byte header and rounds the chunk
+// to 16 bytes; 16 is a fair flat approximation). Because the allocator is
+// rebound to the container's real node type, the count includes the node
+// bookkeeping (rb-tree colour/parent/child pointers, hash-bucket next
+// pointers) that dominates the footprint of map/hash storages — exactly the
+// "internal management" overhead the paper's Sec. 1 calls out.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#include "csg/core/types.hpp"
+
+namespace csg::baselines {
+
+/// Flat per-allocation overhead charged on top of requested bytes.
+inline constexpr std::size_t kHeapChunkOverhead = 16;
+
+class MemoryMeter {
+ public:
+  void charge(std::size_t bytes) {
+    current_ += bytes + kHeapChunkOverhead;
+    if (current_ > peak_) peak_ = current_;
+    ++allocations_;
+  }
+  void refund(std::size_t bytes) { current_ -= bytes + kHeapChunkOverhead; }
+
+  /// Live bytes (payload + node overhead + chunk overhead).
+  std::size_t current_bytes() const { return current_; }
+  std::size_t peak_bytes() const { return peak_; }
+  std::size_t allocation_count() const { return allocations_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t allocations_ = 0;
+};
+
+template <typename T>
+class MeteredAllocator {
+ public:
+  using value_type = T;
+
+  explicit MeteredAllocator(MemoryMeter* meter) : meter_(meter) {
+    CSG_EXPECTS(meter != nullptr);
+  }
+
+  template <typename U>
+  MeteredAllocator(const MeteredAllocator<U>& other) : meter_(other.meter()) {}
+
+  T* allocate(std::size_t n) {
+    meter_->charge(n * sizeof(T));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    meter_->refund(n * sizeof(T));
+    ::operator delete(p);
+  }
+
+  MemoryMeter* meter() const { return meter_; }
+
+  friend bool operator==(const MeteredAllocator& a, const MeteredAllocator& b) {
+    return a.meter_ == b.meter_;
+  }
+
+ private:
+  MemoryMeter* meter_;
+};
+
+}  // namespace csg::baselines

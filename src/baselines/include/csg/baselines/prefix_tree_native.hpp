@@ -1,0 +1,192 @@
+// NATIVE recursive algorithms on the prefix tree — Alg. 1/2 as the paper's
+// original implementation ran them: descending child pointers instead of
+// re-walking from the root per access.
+//
+// Key structural fact: within one node, the heap-ordered slot array places
+// all slots of levels 0..b in its first 2^{b+1}-1 entries, and a node
+// reached by spending levels along the way has exactly the budget-b prefix
+// of its (larger-budget) ancestors' shape. The 1d hierarchization along a
+// trie dimension therefore updates whole SUBTREES pairwise: subtree(l,i)
+// -= (subtree(left parent) + subtree(right parent)) / 2 over the common
+// (smaller) budget prefix — a handful of contiguous array sweeps at the
+// leaf dimension, which is exactly the locality Sec. 6.1 credits the trie
+// with.
+#pragma once
+
+#include <functional>
+
+#include "csg/baselines/prefix_tree_storage.hpp"
+#include "csg/core/grid_point.hpp"
+
+namespace csg::baselines {
+
+namespace detail_trie {
+
+using Node = PrefixTreeStorage::Node;
+
+inline level_t level_of_slot(std::size_t slot) {
+  level_t l = 0;
+  while ((std::size_t{2} << l) - 1 <= slot) ++l;
+  return l;
+}
+
+/// cur -= (a + b)/2 (sign=-1) or cur += (a + b)/2 (sign=+1), pairwise over
+/// the suffix points of cur's budget. a / b may be null (domain boundary:
+/// zero subtree).
+inline void combine(Node* cur, const Node* a, const Node* b, dim_t depth,
+                    dim_t dims, level_t budget, real_t sign) {
+  const std::size_t span = (std::size_t{2} << budget) - 1;
+  if (depth + 1 == dims) {
+    for (std::size_t k = 0; k < span; ++k) {
+      const real_t va = a != nullptr ? a->values[k] : real_t{0};
+      const real_t vb = b != nullptr ? b->values[k] : real_t{0};
+      cur->values[k] += sign * (va + vb) / 2;
+    }
+    return;
+  }
+  for (std::size_t k = 0; k < span; ++k) {
+    combine(cur->children[k], a != nullptr ? a->children[k] : nullptr,
+            b != nullptr ? b->children[k] : nullptr, depth + 1, dims,
+            budget - level_of_slot(k), sign);
+  }
+}
+
+/// Alg. 1 along a NON-LEAF trie dimension: recurse to the children first
+/// (they consume the still-nodal parent subtrees passed down as left /
+/// right), then update the whole subtree pairwise.
+inline void hierarchize1d(Node* node, dim_t depth, dim_t dims, level_t budget,
+                          level_t lev, index1d_t idx, const Node* left,
+                          const Node* right) {
+  CSG_ASSERT(depth + 1 < dims);
+  const std::size_t k = PrefixTreeStorage::slot(lev, idx);
+  Node* cur_child = node->children[k];
+  if (lev < budget) {
+    hierarchize1d(node, depth, dims, budget, lev + 1, 2 * idx - 1, left,
+                  cur_child);
+    hierarchize1d(node, depth, dims, budget, lev + 1, 2 * idx + 1, cur_child,
+                  right);
+  }
+  combine(cur_child, left, right, depth + 1, dims, budget - lev, real_t{-1});
+}
+
+/// Alg. 1 along the LAST dimension: pure in-array recursion (the
+/// cache-friendly pole the paper highlights).
+inline void transform1d_leaf(Node* node, level_t budget, level_t lev,
+                             index1d_t idx, real_t left, real_t right,
+                             bool inverse) {
+  const std::size_t k = PrefixTreeStorage::slot(lev, idx);
+  if (inverse) {
+    // Top-down: restore this point first, then its children read it.
+    node->values[k] += (left + right) / 2;
+    const real_t cur = node->values[k];
+    if (lev < budget) {
+      transform1d_leaf(node, budget, lev + 1, 2 * idx - 1, left, cur, true);
+      transform1d_leaf(node, budget, lev + 1, 2 * idx + 1, cur, right, true);
+    }
+  } else {
+    const real_t cur = node->values[k];
+    if (lev < budget) {
+      transform1d_leaf(node, budget, lev + 1, 2 * idx - 1, left, cur, false);
+      transform1d_leaf(node, budget, lev + 1, 2 * idx + 1, cur, right, false);
+    }
+    node->values[k] -= (left + right) / 2;
+  }
+}
+
+/// Inverse along a non-leaf dimension: update top-down.
+inline void dehierarchize1d(Node* node, dim_t depth, dim_t dims,
+                            level_t budget, level_t lev, index1d_t idx,
+                            const Node* left, const Node* right) {
+  const std::size_t k = PrefixTreeStorage::slot(lev, idx);
+  Node* cur_child = node->children[k];
+  combine(cur_child, left, right, depth + 1, dims, budget - lev, real_t{1});
+  if (lev < budget) {
+    dehierarchize1d(node, depth, dims, budget, lev + 1, 2 * idx - 1, left,
+                    cur_child);
+    dehierarchize1d(node, depth, dims, budget, lev + 1, 2 * idx + 1,
+                    cur_child, right);
+  }
+}
+
+/// Apply the dimension-t transform below every depth-t prefix node.
+inline void for_each_prefix(Node* node, dim_t depth, dim_t target,
+                            dim_t dims, level_t budget,
+                            const std::function<void(Node*, level_t)>& op) {
+  if (depth == target) {
+    op(node, budget);
+    return;
+  }
+  const std::size_t span = (std::size_t{2} << budget) - 1;
+  for (std::size_t k = 0; k < span; ++k)
+    for_each_prefix(node->children[k], depth + 1, target, dims,
+                    budget - level_of_slot(k), op);
+}
+
+}  // namespace detail_trie
+
+/// Alg. 2 on the trie: descend only the slots whose supports contain x.
+inline real_t evaluate_native(const PrefixTreeStorage& storage,
+                              const CoordVector& x) {
+  const RegularSparseGrid& grid = storage.grid();
+  CSG_EXPECTS(x.size() == grid.dim());
+  const dim_t dims = grid.dim();
+  auto rec = [&](auto&& self, const detail_trie::Node* node, dim_t depth,
+                 level_t budget, real_t prod) -> real_t {
+    real_t res = 0;
+    for (level_t lev = 0; lev <= budget; ++lev) {
+      const index1d_t idx = support_index_1d(lev, x[depth]);
+      const real_t b = hat_basis_1d(lev, idx, x[depth]);
+      if (b == 0) break;  // finer levels vanish at this coordinate too
+      const std::size_t k = PrefixTreeStorage::slot(lev, idx);
+      if (depth + 1 == dims)
+        res += node->values[k] * prod * b;
+      else
+        res += self(self, node->children[k], depth + 1, budget - lev,
+                    prod * b);
+    }
+    return res;
+  };
+  return rec(rec, storage.root(), 0, grid.level() - 1, real_t{1});
+}
+
+/// Alg. 1 on the trie, all dimensions.
+inline void hierarchize_native(PrefixTreeStorage& storage) {
+  const RegularSparseGrid& grid = storage.grid();
+  const dim_t dims = grid.dim();
+  const level_t n = grid.level();
+  for (dim_t t = 0; t < dims; ++t) {
+    detail_trie::for_each_prefix(
+        storage.root(), 0, t, dims, n - 1,
+        [&](detail_trie::Node* node, level_t budget) {
+          if (t + 1 == dims) {
+            detail_trie::transform1d_leaf(node, budget, 0, 1, 0, 0,
+                                          /*inverse=*/false);
+          } else {
+            detail_trie::hierarchize1d(node, t, dims, budget, 0, 1, nullptr,
+                                       nullptr);
+          }
+        });
+  }
+}
+
+/// Inverse transform on the trie.
+inline void dehierarchize_native(PrefixTreeStorage& storage) {
+  const RegularSparseGrid& grid = storage.grid();
+  const dim_t dims = grid.dim();
+  const level_t n = grid.level();
+  for (dim_t t = dims; t-- > 0;) {
+    detail_trie::for_each_prefix(
+        storage.root(), 0, t, dims, n - 1,
+        [&](detail_trie::Node* node, level_t budget) {
+          if (t + 1 == dims) {
+            detail_trie::transform1d_leaf(node, budget, 0, 1, 0, 0,
+                                          /*inverse=*/true);
+          } else {
+            detail_trie::dehierarchize1d(node, t, dims, budget, 0, 1, nullptr,
+                                         nullptr);
+          }
+        });
+  }
+}
+
+}  // namespace csg::baselines

@@ -1,0 +1,156 @@
+// PrefixTreeStorage: the pointer-based trie of Fig. 4.
+//
+// Dimensions are consumed in fixed order; a node at depth t stores the
+// one-dimensional binary tree over (l_t, i_t) as a heap-ordered array — slot
+// 2^l - 1 + (i-1)/2 for the point (l, i) — whose entries point to the
+// subtree for dimension t+1. The array for a node with remaining level
+// budget r covers levels 0..r (2^{r+1}-1 slots), because a regular sparse
+// grid admits l_t <= r = (n-1) - sum of levels already spent. At the last
+// dimension the array holds the coefficients themselves, which is what
+// gives the trie its good evaluation locality (paper Sec. 6.1): all
+// coefficients of a 1d pole along the last dimension are contiguous.
+//
+// Access is O(d) time with O(d) non-sequential references (one pointer hop
+// per dimension) — the Table 1 row for "Prefix tree".
+#pragma once
+
+#include <vector>
+
+#include "csg/baselines/memory_meter.hpp"
+#include "csg/core/regular_grid.hpp"
+
+namespace csg::baselines {
+
+class PrefixTreeStorage {
+ public:
+  explicit PrefixTreeStorage(RegularSparseGrid grid)
+      : grid_(std::move(grid)) {
+    root_ = build_node(0, grid_.level() - 1);
+  }
+  PrefixTreeStorage(dim_t d, level_t n)
+      : PrefixTreeStorage(RegularSparseGrid(d, n)) {}
+
+  PrefixTreeStorage(const PrefixTreeStorage&) = delete;
+  PrefixTreeStorage& operator=(const PrefixTreeStorage&) = delete;
+  PrefixTreeStorage(PrefixTreeStorage&& other) noexcept
+      : grid_(std::move(other.grid_)), meter_(other.meter_),
+        root_(other.root_) {
+    other.root_ = nullptr;
+  }
+  PrefixTreeStorage& operator=(PrefixTreeStorage&&) = delete;
+
+  ~PrefixTreeStorage() {
+    if (root_ != nullptr) destroy_node(root_, 0);
+  }
+
+  const RegularSparseGrid& grid() const { return grid_; }
+
+  real_t get(const LevelVector& l, const IndexVector& i) const {
+    const Node* node = root_;
+    const dim_t last = grid_.dim() - 1;
+    for (dim_t t = 0; t < last; ++t) node = node->children[slot(l[t], i[t])];
+    return node->values[slot(l[last], i[last])];
+  }
+
+  void set(const LevelVector& l, const IndexVector& i, real_t v) {
+    Node* node = root_;
+    const dim_t last = grid_.dim() - 1;
+    for (dim_t t = 0; t < last; ++t) node = node->children[slot(l[t], i[t])];
+    node->values[slot(l[last], i[last])] = v;
+  }
+
+  /// Access with an observation hook: `touch(address, bytes)` fires for
+  /// every node the walk visits plus the final slot — this is how the cache
+  /// simulator (src/memsim) sees the trie's exact address stream.
+  template <typename Touch>
+  real_t get_traced(const LevelVector& l, const IndexVector& i,
+                    Touch&& touch) const {
+    const Node* node = root_;
+    const dim_t last = grid_.dim() - 1;
+    for (dim_t t = 0; t < last; ++t) {
+      touch(reinterpret_cast<std::uint64_t>(node), sizeof(Node));
+      const Node* const* slot_ptr = node->children.data() + slot(l[t], i[t]);
+      touch(reinterpret_cast<std::uint64_t>(slot_ptr), sizeof(Node*));
+      node = *slot_ptr;
+    }
+    touch(reinterpret_cast<std::uint64_t>(node), sizeof(Node));
+    const real_t* value_ptr = node->values.data() + slot(l[last], i[last]);
+    touch(reinterpret_cast<std::uint64_t>(value_ptr), sizeof(real_t));
+    return *value_ptr;
+  }
+
+  template <typename Touch>
+  void set_traced(const LevelVector& l, const IndexVector& i, real_t v,
+                  Touch&& touch) {
+    Node* node = root_;
+    const dim_t last = grid_.dim() - 1;
+    for (dim_t t = 0; t < last; ++t) {
+      touch(reinterpret_cast<std::uint64_t>(node), sizeof(Node));
+      Node** slot_ptr = node->children.data() + slot(l[t], i[t]);
+      touch(reinterpret_cast<std::uint64_t>(slot_ptr), sizeof(Node*));
+      node = *slot_ptr;
+    }
+    touch(reinterpret_cast<std::uint64_t>(node), sizeof(Node));
+    real_t* value_ptr = node->values.data() + slot(l[last], i[last]);
+    touch(reinterpret_cast<std::uint64_t>(value_ptr), sizeof(real_t));
+    *value_ptr = v;
+  }
+
+  std::size_t memory_bytes() const { return meter_.current_bytes(); }
+  std::size_t node_count() const { return node_count_; }
+  static const char* name() { return "prefix_tree"; }
+
+  /// Heap-ordered slot of the 1d point (l, i) within a node's array.
+  static std::size_t slot(level_t l, index1d_t i) {
+    return (std::size_t{1} << l) - 1 + static_cast<std::size_t>((i - 1) >> 1);
+  }
+
+ public:
+  /// Trie node: inner nodes hold child pointers in heap-slot order, the
+  /// last dimension holds the coefficients. Public so the NATIVE recursive
+  /// algorithms (prefix_tree_native.hpp) can walk the structure the way
+  /// the paper's original implementation did.
+  struct Node {
+    std::vector<Node*, MeteredAllocator<Node*>> children;
+    std::vector<real_t, MeteredAllocator<real_t>> values;
+
+    explicit Node(MemoryMeter* meter)
+        : children(MeteredAllocator<Node*>(meter)),
+          values(MeteredAllocator<real_t>(meter)) {}
+  };
+
+  Node* root() { return root_; }
+  const Node* root() const { return root_; }
+
+ private:
+
+  Node* build_node(dim_t t, level_t budget) {
+    meter_.charge(sizeof(Node));
+    ++node_count_;
+    Node* node = new Node(&meter_);
+    const std::size_t slots = (std::size_t{2} << budget) - 1;
+    if (t + 1 == grid_.dim()) {
+      node->values.assign(slots, real_t{0});
+    } else {
+      node->children.assign(slots, nullptr);
+      for (level_t l = 0; l <= budget; ++l)
+        for (index1d_t i = 1; i < (index1d_t{2} << l); i += 2)
+          node->children[slot(l, i)] = build_node(t + 1, budget - l);
+    }
+    return node;
+  }
+
+  void destroy_node(Node* node, dim_t t) {
+    if (t + 1 < grid_.dim())
+      for (Node* child : node->children) destroy_node(child, t + 1);
+    meter_.refund(sizeof(Node));
+    delete node;
+  }
+
+  RegularSparseGrid grid_;
+  MemoryMeter meter_;
+  std::size_t node_count_ = 0;
+  Node* root_ = nullptr;
+};
+
+}  // namespace csg::baselines

@@ -1,0 +1,24 @@
+// The GridStorage concept: the uniform key-value surface shared by the
+// compact data structure and all four baseline storages of Table 1, so the
+// generic (storage-agnostic) hierarchization and evaluation algorithms can
+// run unchanged over each of them — which is exactly the Fig. 9 experiment.
+#pragma once
+
+#include <concepts>
+
+#include "csg/core/regular_grid.hpp"
+#include "csg/core/types.hpp"
+
+namespace csg::baselines {
+
+template <typename S>
+concept GridStorage = requires(S s, const S cs, const LevelVector& l,
+                               const IndexVector& i, real_t v) {
+  { cs.grid() } -> std::convertible_to<const RegularSparseGrid&>;
+  { cs.get(l, i) } -> std::convertible_to<real_t>;
+  s.set(l, i, v);
+  { cs.memory_bytes() } -> std::convertible_to<std::size_t>;
+  { S::name() } -> std::convertible_to<const char*>;
+};
+
+}  // namespace csg::baselines

@@ -1,0 +1,18 @@
+// Umbrella header for the csg core library: the compact sparse grid data
+// structure (gp2idx bijection, contiguous storage) and the iterative
+// hierarchization / evaluation algorithms of Murarasu et al., PPoPP'11.
+#pragma once
+
+#include "csg/core/binomial_table.hpp"
+#include "csg/core/boundary_grid.hpp"
+#include "csg/core/calculus.hpp"
+#include "csg/core/compact_storage.hpp"
+#include "csg/core/dim_vector.hpp"
+#include "csg/core/evaluate.hpp"
+#include "csg/core/grid_point.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/core/level_enumeration.hpp"
+#include "csg/core/regular_grid.hpp"
+#include "csg/core/restriction.hpp"
+#include "csg/core/truncated.hpp"
+#include "csg/core/types.hpp"

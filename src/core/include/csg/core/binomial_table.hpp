@@ -1,0 +1,84 @@
+// The binmat lookup table (paper Sec. 4.2): gp2idx needs binomial
+// coefficients C(t + s, t) for t < d and s <= n on its innermost path, so we
+// precompute Pascal's triangle once per grid and answer lookups in O(1).
+//
+// The paper stores an n x d matrix in GPU constant memory; on the CPU the
+// full triangle up to row d - 1 + n is a few kilobytes and lives comfortably
+// in L1, which is what makes the "zero cache misses from gp2idx itself"
+// argument of Sec. 4.3 hold.
+#pragma once
+
+#include <vector>
+
+#include "csg/core/types.hpp"
+
+namespace csg {
+
+class BinomialTable {
+ public:
+  BinomialTable() = default;
+
+  /// Precompute all C(a, b) for 0 <= b <= a <= max_row.
+  explicit BinomialTable(std::uint32_t max_row) : max_row_(max_row) {
+    rows_.resize(static_cast<std::size_t>(max_row + 1) * (max_row + 2) / 2);
+    for (std::uint32_t a = 0; a <= max_row; ++a) {
+      row_ptr(a)[0] = 1;
+      row_ptr(a)[a] = 1;
+      for (std::uint32_t b = 1; b < a; ++b) {
+        const std::uint64_t v = row_ptr(a - 1)[b - 1] + row_ptr(a - 1)[b];
+        CSG_ASSERT(v >= row_ptr(a - 1)[b - 1] && "binomial overflow");
+        row_ptr(a)[b] = v;
+      }
+    }
+  }
+
+  /// C(a, b); requires a <= max_row(). Returns 0 for b > a, matching the
+  /// combinatorial convention.
+  std::uint64_t operator()(std::uint32_t a, std::uint32_t b) const {
+    CSG_EXPECTS(a <= max_row_);
+    if (b > a) return 0;
+    return row_ptr(a)[b];
+  }
+
+  std::uint32_t max_row() const { return max_row_; }
+
+  /// Triangle-packed flat storage and its index function, exposed so the
+  /// GPU simulator can mirror binmat into constant/shared memory.
+  const std::vector<std::uint64_t>& flat() const { return rows_; }
+  static constexpr std::size_t flat_index(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::size_t>(a) * (a + 1) / 2 + b;
+  }
+
+  /// Bytes of table payload (reported by the memory benchmarks; the paper
+  /// counts binmat as part of its data structure's footprint).
+  std::size_t payload_bytes() const { return rows_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::uint64_t* row_ptr(std::uint32_t a) {
+    return rows_.data() + static_cast<std::size_t>(a) * (a + 1) / 2;
+  }
+  const std::uint64_t* row_ptr(std::uint32_t a) const {
+    return rows_.data() + static_cast<std::size_t>(a) * (a + 1) / 2;
+  }
+
+  std::uint32_t max_row_ = 0;
+  std::vector<std::uint64_t> rows_{1};  // C(0,0) = 1
+};
+
+/// One-shot binomial coefficient, computed multiplicatively in O(min(b, a-b)).
+/// This is the "on the fly" variant the paper ablates against binmat
+/// (Sec. 5.3: on-the-fly computation makes hierarchization ~4x slower).
+constexpr std::uint64_t binomial_on_the_fly(std::uint32_t a, std::uint32_t b) {
+  if (b > a) return 0;
+  if (b > a - b) b = a - b;
+  std::uint64_t result = 1;
+  for (std::uint32_t k = 1; k <= b; ++k) {
+    // Multiply before dividing: result * (a - b + k) is always divisible by k
+    // here because result holds C(a-b+k-1, k-1) * ... — the running product of
+    // a full prefix of the multiplicative formula.
+    result = result * (a - b + k) / k;
+  }
+  return result;
+}
+
+}  // namespace csg

@@ -1,0 +1,83 @@
+// CompactStorage: the paper's data structure — all coefficients of a regular
+// sparse grid in one contiguous 1d array, addressed through gp2idx. No keys,
+// no pointers; the only metadata is the O(d*n) binmat and group offset table
+// owned by the RegularSparseGrid descriptor.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "csg/core/regular_grid.hpp"
+
+namespace csg {
+
+class CompactStorage {
+ public:
+  explicit CompactStorage(RegularSparseGrid grid)
+      : grid_(std::move(grid)),
+        values_(static_cast<std::size_t>(grid_.num_points()), real_t{0}) {}
+
+  CompactStorage(dim_t d, level_t n) : CompactStorage(RegularSparseGrid(d, n)) {}
+
+  const RegularSparseGrid& grid() const { return grid_; }
+  dim_t dim() const { return grid_.dim(); }
+  flat_index_t size() const { return grid_.num_points(); }
+
+  /// Access by flat position (the rawStorage array of Alg. 6/7).
+  real_t& operator[](flat_index_t idx) {
+    CSG_ASSERT(idx < size());
+    return values_[static_cast<std::size_t>(idx)];
+  }
+  real_t operator[](flat_index_t idx) const {
+    CSG_ASSERT(idx < size());
+    return values_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Access by grid point, through gp2idx.
+  real_t& at(const LevelVector& l, const IndexVector& i) {
+    return (*this)[grid_.gp2idx(l, i)];
+  }
+  real_t at(const LevelVector& l, const IndexVector& i) const {
+    return (*this)[grid_.gp2idx(l, i)];
+  }
+
+  /// Uniform key-value access (shared with the baseline storages, so the
+  /// generic algorithms and benchmarks can run over any GridStorage).
+  real_t get(const LevelVector& l, const IndexVector& i) const {
+    return at(l, i);
+  }
+  void set(const LevelVector& l, const IndexVector& i, real_t v) {
+    at(l, i) = v;
+  }
+  static const char* name() { return "compact"; }
+
+  real_t* data() { return values_.data(); }
+  const real_t* data() const { return values_.data(); }
+
+  std::vector<real_t>& values() { return values_; }
+  const std::vector<real_t>& values() const { return values_; }
+
+  /// Fill the array with f evaluated at every grid point (the "initialize
+  /// rawStorage with corresponding values from the full grid" step of
+  /// Alg. 6 line 1). After this the array holds nodal values; hierarchize()
+  /// turns them into hierarchical coefficients.
+  void sample(const std::function<real_t(const CoordVector&)>& f) {
+    for (flat_index_t j = 0; j < size(); ++j)
+      values_[static_cast<std::size_t>(j)] = f(coordinates(grid_.idx2gp(j)));
+  }
+
+  /// Bytes of coefficient payload plus descriptor metadata. This is what the
+  /// Fig. 8 memory benchmark reports for "our data structure".
+  std::size_t memory_bytes() const {
+    return values_.capacity() * sizeof(real_t) +
+           grid_.binmat().payload_bytes() +
+           (grid_.level() + 1) * sizeof(flat_index_t);
+  }
+
+ private:
+  RegularSparseGrid grid_;
+  std::vector<real_t> values_;
+};
+
+}  // namespace csg

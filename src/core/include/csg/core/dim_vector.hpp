@@ -1,0 +1,141 @@
+// DimVector<T>: a fixed-capacity inline vector sized by the number of grid
+// dimensions. Level vectors, index vectors and coordinate tuples are all
+// DimVectors, so the hot paths (gp2idx, next, evaluation) never touch the
+// heap and copies are trivial memcpys.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <initializer_list>
+#include <iterator>
+#include <numeric>
+#include <ostream>
+#include <type_traits>
+
+#include "csg/core/types.hpp"
+
+namespace csg {
+
+template <typename T>
+class DimVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DimVector is designed for trivially copyable element types");
+
+ public:
+  using value_type = T;
+  using size_type = dim_t;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr DimVector() = default;
+
+  /// Construct with `size` copies of `fill`.
+  constexpr explicit DimVector(dim_t size, T fill = T{}) : size_(size) {
+    CSG_EXPECTS(size <= kMaxDim);
+    std::fill_n(data_, size_, fill);
+  }
+
+  constexpr DimVector(std::initializer_list<T> init)
+      : size_(static_cast<dim_t>(init.size())) {
+    CSG_EXPECTS(init.size() <= kMaxDim);
+    std::copy(init.begin(), init.end(), data_);
+  }
+
+  template <std::input_iterator InputIt>
+  constexpr DimVector(InputIt first, InputIt last) {
+    for (; first != last; ++first) push_back(static_cast<T>(*first));
+  }
+
+  constexpr dim_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  static constexpr dim_t capacity() { return kMaxDim; }
+
+  constexpr T& operator[](dim_t pos) {
+    CSG_ASSERT(pos < size_);
+    return data_[pos];
+  }
+  constexpr const T& operator[](dim_t pos) const {
+    CSG_ASSERT(pos < size_);
+    return data_[pos];
+  }
+
+  constexpr T& front() { return (*this)[0]; }
+  constexpr const T& front() const { return (*this)[0]; }
+  constexpr T& back() { return (*this)[size_ - 1]; }
+  constexpr const T& back() const { return (*this)[size_ - 1]; }
+
+  constexpr T* data() { return data_; }
+  constexpr const T* data() const { return data_; }
+
+  constexpr iterator begin() { return data_; }
+  constexpr const_iterator begin() const { return data_; }
+  constexpr const_iterator cbegin() const { return data_; }
+  constexpr iterator end() { return data_ + size_; }
+  constexpr const_iterator end() const { return data_ + size_; }
+  constexpr const_iterator cend() const { return data_ + size_; }
+
+  constexpr void push_back(T value) {
+    CSG_EXPECTS(size_ < kMaxDim);
+    data_[size_++] = value;
+  }
+
+  constexpr void pop_back() {
+    CSG_EXPECTS(size_ > 0);
+    --size_;
+  }
+
+  constexpr void resize(dim_t new_size, T fill = T{}) {
+    CSG_EXPECTS(new_size <= kMaxDim);
+    if (new_size > size_) std::fill(data_ + size_, data_ + new_size, fill);
+    size_ = new_size;
+  }
+
+  constexpr void clear() { size_ = 0; }
+
+  /// Sum of all components (|l|_1 for a level vector). The result type is
+  /// widened to avoid overflow for narrow T.
+  constexpr std::uint64_t l1_norm() const {
+    std::uint64_t acc = 0;
+    for (dim_t t = 0; t < size_; ++t) acc += static_cast<std::uint64_t>(data_[t]);
+    return acc;
+  }
+
+  /// Maximum component (|l|_inf for a level vector). Zero for empty vectors.
+  constexpr T linf_norm() const {
+    T acc{};
+    for (dim_t t = 0; t < size_; ++t) acc = std::max(acc, data_[t]);
+    return acc;
+  }
+
+  friend constexpr bool operator==(const DimVector& a, const DimVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  /// Lexicographic order; shorter vectors order first on ties.
+  friend constexpr auto operator<=>(const DimVector& a, const DimVector& b) {
+    return std::lexicographical_compare_three_way(a.begin(), a.end(), b.begin(),
+                                                  b.end());
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const DimVector& v) {
+    os << '(';
+    for (dim_t t = 0; t < v.size_; ++t) {
+      if (t) os << ',';
+      os << +v.data_[t];
+    }
+    return os << ')';
+  }
+
+ private:
+  T data_[kMaxDim] = {};
+  dim_t size_ = 0;
+};
+
+/// A subspace level vector l (0-based levels, paper Sec. 4).
+using LevelVector = DimVector<level_t>;
+/// A spatial index vector i (odd components, 1 <= i_t < 2^{l_t+1}).
+using IndexVector = DimVector<index1d_t>;
+/// A point in [0,1]^d.
+using CoordVector = DimVector<real_t>;
+
+}  // namespace csg

@@ -1,0 +1,37 @@
+// Iterative evaluation (interpolation) of a sparse grid function at
+// arbitrary points of [0,1]^d — paper Alg. 7.
+//
+// The sum over all basis functions collapses to one term per subspace: in a
+// regular subspace exactly one hat has the query point in its support. The
+// subspaces are walked with the next_level iterator, so neither gp2idx nor
+// idx2gp is needed, and the coefficient offset advances by 2^j per subspace.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "csg/core/compact_storage.hpp"
+
+namespace csg {
+
+/// Evaluate a coefficient array laid out by `grid` at one point x in
+/// [0,1]^d. The span form exists so that sub-grid views (e.g. the boundary
+/// decomposition of Sec. 4.4) can be evaluated without copying.
+real_t evaluate_span(const RegularSparseGrid& grid,
+                     std::span<const real_t> coeffs, const CoordVector& x);
+
+/// Evaluate the sparse grid function at one point x in [0,1]^d.
+real_t evaluate(const CompactStorage& storage, const CoordVector& x);
+
+/// Evaluate at many points; the straightforward loop over evaluate().
+std::vector<real_t> evaluate_many(const CompactStorage& storage,
+                                  std::span<const CoordVector> points);
+
+/// Cache-blocked evaluation (paper Sec. 4.3): the subspace loop is hoisted
+/// outside a block of evaluation points, so one subspace's coefficients are
+/// reused across the whole block while they are hot in cache.
+std::vector<real_t> evaluate_many_blocked(const CompactStorage& storage,
+                                          std::span<const CoordVector> points,
+                                          std::size_t block_size = 64);
+
+}  // namespace csg

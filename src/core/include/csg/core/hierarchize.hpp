@@ -1,0 +1,57 @@
+// Iterative hierarchization / dehierarchization on CompactStorage
+// (paper Alg. 6 and its inverse).
+//
+// Hierarchization converts nodal values (samples of f at grid points) into
+// hierarchical coefficients, one dimension at a time. Within a dimension the
+// level groups are processed in descending |l|_1 order so that a point's
+// update reads its dimension-t parents while they still hold their previous
+// (pre-update-in-t) values — exactly the dependency order the paper enforces
+// with per-group barriers on the GPU.
+#pragma once
+
+#include "csg/core/compact_storage.hpp"
+
+namespace csg {
+
+/// Flat position of the dimension-t left/right hierarchical parent of the
+/// point (l, i), or ~0 if the parent is the domain boundary (contribution 0
+/// for the zero-boundary grids of the paper).
+inline constexpr flat_index_t kBoundaryParent = ~flat_index_t{0};
+
+flat_index_t parent_flat_index(const RegularSparseGrid& grid, LevelVector l,
+                               IndexVector i, dim_t t, bool right);
+
+/// In-place hierarchization (Alg. 6), subspace-wise traversal: per dimension,
+/// level groups descending, subspaces enumerated with next_level, points via
+/// an index odometer. O(N * d^2) like the paper's version, but without the
+/// per-point idx2gp decode.
+void hierarchize(CompactStorage& storage);
+
+/// Literal transcription of Alg. 6: per dimension, one flat loop
+/// j = N-1 ... 0 with a full idx2gp decode per point. Kept as an executable
+/// reference for tests and the ablation benchmarks.
+void hierarchize_literal(CompactStorage& storage);
+
+/// Pole-based in-place hierarchization: the unidirectional principle.
+/// For each dimension, the grid decomposes into 1d "poles" (all points
+/// sharing every coordinate except dimension t). Within a subspace family
+/// l' = l except l'[t] = lev, the flat position factors as
+///   offs[lev] + A * 2^lev * S + c * S + B
+/// with A/B the row-major prefix/suffix of the other dimensions and
+/// S = prod_{s>t} 2^{l_s}, so the classic scalar Alg. 1 recursion runs on
+/// direct index arithmetic — no gp2idx, no idx2gp, no parent lookups at
+/// all. Same O(N d) operation count as hierarchize() but with the lowest
+/// constant; results are bit-identical. Exposed both as the fastest CPU
+/// path and as an ablation subject (bench_ablation_traversal).
+void hierarchize_poles(CompactStorage& storage);
+
+/// Pole-based inverse transform (mirror of hierarchize_poles).
+void dehierarchize_poles(CompactStorage& storage);
+
+/// In-place inverse transform: hierarchical coefficients back to nodal
+/// values (the decompression counterpart used by round-trip tests and the
+/// Fig. 1 pipeline). Processes dimensions in reverse and level groups in
+/// ascending order.
+void dehierarchize(CompactStorage& storage);
+
+}  // namespace csg

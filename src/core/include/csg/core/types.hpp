@@ -1,0 +1,73 @@
+// Fundamental scalar types and contract macros shared by every csg module.
+//
+// The library follows the paper's (Murarasu et al., PPoPP'11, Sec. 4) modified
+// notation throughout: subspace levels are 0-based, so a subspace with level
+// vector l holds 2^{|l|_1} grid points, and the grid point (l_t, i_t) in
+// dimension t has the coordinate i_t * 2^{-(l_t + 1)} with i_t odd.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace csg {
+
+/// Number of dimensions of a grid. The paper evaluates d in [1, 10]; we allow
+/// a generous fixed upper bound so that level/index vectors never allocate.
+using dim_t = std::uint32_t;
+
+/// A one-dimensional hierarchical level (0-based as in the paper, Sec. 4).
+using level_t = std::uint32_t;
+
+/// A one-dimensional spatial index within a level; always odd for interior
+/// points: 1 <= i < 2^{l+1}.
+using index1d_t = std::uint64_t;
+
+/// A flat position in the contiguous coefficient array (the image of gp2idx).
+using flat_index_t = std::uint64_t;
+
+/// Grid coordinates and coefficient values.
+using real_t = double;
+
+/// Hard upper bound on the number of dimensions. Level and index vectors are
+/// fixed-capacity inline arrays of this size, so raising it trades memory for
+/// range. 16 comfortably covers the paper's d <= 10 plus boundary sub-grids.
+inline constexpr dim_t kMaxDim = 16;
+
+/// Hard upper bound on the refinement level n of a regular sparse grid. The
+/// flat index arithmetic in gp2idx stays within uint64 for every (d, n) with
+/// d <= kMaxDim and n <= kMaxLevel.
+inline constexpr level_t kMaxLevel = 40;
+
+namespace detail {
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "csg: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+}  // namespace detail
+
+// Contract macros in the spirit of the C++ Core Guidelines' Expects/Ensures.
+// CSG_EXPECTS/CSG_ENSURES guard public API boundaries and stay enabled in all
+// build types (their cost is negligible next to the guarded operations).
+// CSG_ASSERT is an internal invariant check compiled out in release builds.
+#define CSG_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::csg::detail::contract_violation("precondition", #cond,      \
+                                              __FILE__, __LINE__))
+#define CSG_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::csg::detail::contract_violation("postcondition", #cond,     \
+                                              __FILE__, __LINE__))
+#ifndef NDEBUG
+#define CSG_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::csg::detail::contract_violation("invariant", #cond,          \
+                                              __FILE__, __LINE__))
+#else
+#define CSG_ASSERT(cond) static_cast<void>(0)
+#endif
+
+}  // namespace csg

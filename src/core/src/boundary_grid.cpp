@@ -1,0 +1,240 @@
+#include "csg/core/boundary_grid.hpp"
+
+#include <span>
+
+#include "csg/core/evaluate.hpp"
+
+namespace csg {
+
+namespace {
+
+/// Colex unranking of the rank-r subset of size j from {0..d-1}: for k = j
+/// down to 1 pick the largest c with C(c, k) <= r. Returns the ascending
+/// element list.
+DimVector<dim_t> unrank_subset(dim_t d, dim_t j, std::uint64_t r,
+                               const BinomialTable& binmat) {
+  DimVector<dim_t> subset(j);
+  for (dim_t k = j; k >= 1; --k) {
+    dim_t c = k - 1;
+    while (c + 1 < d && binmat(c + 1, k) <= r) ++c;
+    subset[k - 1] = c;
+    r -= binmat(c, k);
+  }
+  CSG_ASSERT(r == 0);
+  return subset;
+}
+
+}  // namespace
+
+std::uint64_t num_boundary_subgrids(dim_t d, dim_t j) {
+  CSG_EXPECTS(j <= d);
+  return binomial_on_the_fly(d, j) << j;
+}
+
+BoundarySparseGrid::BoundarySparseGrid(dim_t d, level_t n) : d_(d), n_(n) {
+  CSG_EXPECTS(d >= 1 && d <= kMaxDim);
+  CSG_EXPECTS(n >= 1 && n <= kMaxLevel);
+  binmat_ = BinomialTable(d);
+  interior_.reserve(d);
+  for (dim_t k = 1; k <= d; ++k) interior_.emplace_back(k, n);
+  subgrid_points_.resize(d + 1);
+  group_offset_.resize(d + 2);
+  group_offset_[0] = 0;
+  unsigned __int128 total = 0;
+  for (dim_t j = 0; j <= d; ++j) {
+    subgrid_points_[j] = (j < d) ? interior_[d - j - 1].num_points() : 1;
+    total += static_cast<unsigned __int128>(num_boundary_subgrids(d, j)) *
+             subgrid_points_[j];
+    CSG_EXPECTS(total < (static_cast<unsigned __int128>(1) << 63) &&
+                "boundary grid too large for 64-bit flat indices");
+    group_offset_[j + 1] = static_cast<flat_index_t>(total);
+  }
+}
+
+bool BoundarySparseGrid::contains(const BoundaryPoint& p) const {
+  if (p.level.size() != d_ || p.index.size() != d_) return false;
+  std::uint64_t interior_sum = 0;
+  for (dim_t t = 0; t < d_; ++t) {
+    if (p.fixed(t)) {
+      if (p.index[t] > 1) return false;
+    } else {
+      if (!valid_point_1d(p.level[t], p.index[t])) return false;
+      interior_sum += p.level[t];
+    }
+  }
+  // Corners have interior_sum == 0 and satisfy this trivially (n_ >= 1).
+  return interior_sum < n_;
+}
+
+std::uint64_t BoundarySparseGrid::subset_rank(const BoundaryPoint& p) const {
+  std::uint64_t rank = 0;
+  dim_t k = 0;
+  for (dim_t t = 0; t < d_; ++t)
+    if (p.fixed(t)) rank += binmat_(t, ++k);
+  return rank;
+}
+
+flat_index_t BoundarySparseGrid::bp2idx(const BoundaryPoint& p) const {
+  CSG_EXPECTS(p.level.size() == d_ && p.index.size() == d_);
+  dim_t j = 0;
+  std::uint64_t sign = 0;
+  LevelVector li;
+  IndexVector ii;
+  for (dim_t t = 0; t < d_; ++t) {
+    if (p.fixed(t)) {
+      CSG_EXPECTS(p.index[t] <= 1);
+      sign |= static_cast<std::uint64_t>(p.index[t]) << j;
+      ++j;
+    } else {
+      li.push_back(p.level[t]);
+      ii.push_back(p.index[t]);
+    }
+  }
+  const std::uint64_t subgrid =
+      (subset_rank(p) << j) + sign;
+  const flat_index_t inner =
+      (j == d_) ? 0 : interior_[d_ - j - 1].gp2idx(li, ii);
+  return group_offset_[j] + subgrid * subgrid_points_[j] + inner;
+}
+
+BoundaryPoint BoundarySparseGrid::idx2bp(flat_index_t idx) const {
+  CSG_EXPECTS(idx < num_points());
+  dim_t j = 0;
+  while (group_offset_[j + 1] <= idx) ++j;
+  const flat_index_t local = idx - group_offset_[j];
+  const flat_index_t block = subgrid_points_[j];
+  const std::uint64_t subgrid = local / block;
+  const flat_index_t inner = local % block;
+  const std::uint64_t sign = subgrid & ((std::uint64_t{1} << j) - 1);
+  const std::uint64_t rank = subgrid >> j;
+  const DimVector<dim_t> subset = unrank_subset(d_, j, rank, binmat_);
+
+  BoundaryPoint p;
+  p.level.resize(d_);
+  p.index.resize(d_);
+  GridPoint ip;
+  if (j < d_) ip = interior_[d_ - j - 1].idx2gp(inner);
+  dim_t fixed_seen = 0, free_seen = 0;
+  for (dim_t t = 0; t < d_; ++t) {
+    if (fixed_seen < j && subset[fixed_seen] == t) {
+      p.level[t] = kBoundaryLevel;
+      p.index[t] = (sign >> fixed_seen) & 1;
+      ++fixed_seen;
+    } else {
+      p.level[t] = ip.level[free_seen];
+      p.index[t] = ip.index[free_seen];
+      ++free_seen;
+    }
+  }
+  return p;
+}
+
+BoundaryStorage::BoundaryStorage(BoundarySparseGrid grid)
+    : grid_(std::move(grid)),
+      values_(static_cast<std::size_t>(grid_.num_points()), real_t{0}) {}
+
+void BoundaryStorage::sample(
+    const std::function<real_t(const CoordVector&)>& f) {
+  for (flat_index_t j = 0; j < size(); ++j)
+    values_[static_cast<std::size_t>(j)] = f(grid_.idx2bp(j).coordinates());
+}
+
+namespace {
+
+/// Value of the dimension-t parent of p, where the parent may be an
+/// interior point or a boundary point of an adjacent sub-grid.
+real_t boundary_parent_value(const BoundaryStorage& storage, BoundaryPoint p,
+                             dim_t t, bool right) {
+  const Parent1d par = right ? right_parent_1d(p.level[t], p.index[t])
+                             : left_parent_1d(p.level[t], p.index[t]);
+  if (par.is_boundary) {
+    p.level[t] = kBoundaryLevel;
+    p.index[t] = right ? 1 : 0;
+  } else {
+    p.level[t] = par.level;
+    p.index[t] = par.index;
+  }
+  return storage[storage.grid().bp2idx(p)];
+}
+
+}  // namespace
+
+void hierarchize(BoundaryStorage& storage) {
+  const BoundarySparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  // Flat descending order puts, inside every sub-grid, higher interior level
+  // groups first — so a point's (strictly lower-level or boundary) parents
+  // in the active dimension are read before they are themselves updated.
+  for (dim_t t = 0; t < d; ++t) {
+    for (flat_index_t idx = grid.num_points(); idx-- > 0;) {
+      const BoundaryPoint p = grid.idx2bp(idx);
+      if (p.fixed(t)) continue;  // boundary coefficients are nodal in t
+      const real_t v1 = boundary_parent_value(storage, p, t, false);
+      const real_t v2 = boundary_parent_value(storage, p, t, true);
+      storage[idx] -= (v1 + v2) / 2;
+    }
+  }
+}
+
+void dehierarchize(BoundaryStorage& storage) {
+  const BoundarySparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  for (dim_t t = d; t-- > 0;) {
+    for (flat_index_t idx = 0; idx < grid.num_points(); ++idx) {
+      const BoundaryPoint p = grid.idx2bp(idx);
+      if (p.fixed(t)) continue;
+      const real_t v1 = boundary_parent_value(storage, p, t, false);
+      const real_t v2 = boundary_parent_value(storage, p, t, true);
+      storage[idx] += (v1 + v2) / 2;
+    }
+  }
+}
+
+real_t evaluate(const BoundaryStorage& storage, const CoordVector& x) {
+  const BoundarySparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  CSG_EXPECTS(x.size() == d);
+  const BinomialTable& binmat = grid.binmat();
+  real_t res = 0;
+  flat_index_t base = 0;
+  for (dim_t j = 0; j <= d; ++j) {
+    const std::uint64_t subsets = binmat(d, j);
+    const flat_index_t block = grid.subgrid_points(j);
+    for (std::uint64_t r = 0; r < subsets; ++r) {
+      const DimVector<dim_t> subset = unrank_subset(d, j, r, binmat);
+      for (std::uint64_t sign = 0; sign < (std::uint64_t{1} << j); ++sign) {
+        // Weight: product of the level-0 boundary hats over fixed dims.
+        real_t w = 1;
+        for (dim_t k = 0; k < j; ++k) {
+          const real_t xt = x[subset[k]];
+          w *= ((sign >> k) & 1) ? xt : (1 - xt);
+        }
+        if (w != 0) {
+          if (j == d) {
+            res += w * storage[base];
+          } else {
+            CoordVector proj;
+            dim_t fixed_seen = 0;
+            for (dim_t t = 0; t < d; ++t) {
+              if (fixed_seen < j && subset[fixed_seen] == t)
+                ++fixed_seen;
+              else
+                proj.push_back(x[t]);
+            }
+            res += w * evaluate_span(
+                           grid.interior_grid(d - j),
+                           std::span<const real_t>(
+                               storage.values().data() + base,
+                               static_cast<std::size_t>(block)),
+                           proj);
+          }
+        }
+        base += block;
+      }
+    }
+  }
+  CSG_ASSERT(base == grid.num_points());
+  return res;
+}
+
+}  // namespace csg

@@ -1,0 +1,92 @@
+#include "csg/core/evaluate.hpp"
+
+#include <algorithm>
+
+#include "csg/core/grid_point.hpp"
+#include "csg/core/level_enumeration.hpp"
+
+namespace csg {
+
+namespace {
+
+/// Contribution of subspace l (whose coefficients start at flat position
+/// `base`) to the interpolant at x: the one basis with x in its support,
+/// times its coefficient. Also the body of Alg. 7 lines 6-16.
+real_t subspace_contribution(const real_t* coeffs, const LevelVector& l,
+                             flat_index_t base, const CoordVector& x) {
+  real_t prod = 1;
+  flat_index_t index1 = 0;
+  for (dim_t t = 0; t < l.size(); ++t) {
+    const index1d_t i = support_index_1d(l[t], x[t]);
+    index1 = (index1 << l[t]) + ((i - 1) >> 1);
+    prod *= hat_basis_1d(l[t], i, x[t]);
+    if (prod == 0) return 0;  // x on a grid line of this subspace
+  }
+  return prod * coeffs[base + index1];
+}
+
+}  // namespace
+
+real_t evaluate_span(const RegularSparseGrid& grid,
+                     std::span<const real_t> coeffs, const CoordVector& x) {
+  CSG_EXPECTS(x.size() == grid.dim());
+  CSG_EXPECTS(coeffs.size() >= grid.num_points());
+  const dim_t d = grid.dim();
+  const level_t n = grid.level();
+  real_t res = 0;
+  flat_index_t index2 = 0;
+  for (level_t j = 0; j < n; ++j) {
+    LevelVector l = first_level(d, j);
+    const std::uint64_t subspaces = grid.subspaces_in_group(j);
+    for (std::uint64_t k = 0; k < subspaces; ++k) {
+      res += subspace_contribution(coeffs.data(), l, index2, x);
+      index2 += grid.points_per_subspace(j);
+      if (k + 1 < subspaces) advance_level(l);
+    }
+  }
+  CSG_ASSERT(index2 == grid.num_points());
+  return res;
+}
+
+real_t evaluate(const CompactStorage& storage, const CoordVector& x) {
+  return evaluate_span(storage.grid(),
+                       std::span<const real_t>(storage.data(),
+                                               storage.values().size()),
+                       x);
+}
+
+std::vector<real_t> evaluate_many(const CompactStorage& storage,
+                                  std::span<const CoordVector> points) {
+  std::vector<real_t> out(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p)
+    out[p] = evaluate(storage, points[p]);
+  return out;
+}
+
+std::vector<real_t> evaluate_many_blocked(const CompactStorage& storage,
+                                          std::span<const CoordVector> points,
+                                          std::size_t block_size) {
+  CSG_EXPECTS(block_size >= 1);
+  const RegularSparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  const level_t n = grid.level();
+  std::vector<real_t> out(points.size(), 0);
+  for (std::size_t b0 = 0; b0 < points.size(); b0 += block_size) {
+    const std::size_t b1 = std::min(b0 + block_size, points.size());
+    flat_index_t index2 = 0;
+    for (level_t j = 0; j < n; ++j) {
+      LevelVector l = first_level(d, j);
+      const std::uint64_t subspaces = grid.subspaces_in_group(j);
+      for (std::uint64_t k = 0; k < subspaces; ++k) {
+        for (std::size_t p = b0; p < b1; ++p)
+          out[p] += subspace_contribution(storage.data(), l, index2,
+                                           points[p]);
+        index2 += grid.points_per_subspace(j);
+        if (k + 1 < subspaces) advance_level(l);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace csg

@@ -1,0 +1,191 @@
+#include "csg/core/hierarchize.hpp"
+
+#include "csg/core/grid_point.hpp"
+#include "csg/core/level_enumeration.hpp"
+
+namespace csg {
+
+flat_index_t parent_flat_index(const RegularSparseGrid& grid, LevelVector l,
+                               IndexVector i, dim_t t, bool right) {
+  const Parent1d p =
+      right ? right_parent_1d(l[t], i[t]) : left_parent_1d(l[t], i[t]);
+  if (p.is_boundary) return kBoundaryParent;
+  l[t] = p.level;
+  i[t] = p.index;
+  return grid.gp2idx(l, i);
+}
+
+namespace {
+
+/// Advance the index odometer of subspace l to the next row-major point;
+/// returns false after the last point.
+bool advance_index(const LevelVector& l, IndexVector& i) {
+  for (dim_t t = l.size(); t-- > 0;) {
+    i[t] += 2;
+    if (i[t] < (index1d_t{1} << (l[t] + 1))) return true;
+    i[t] = 1;
+  }
+  return false;
+}
+
+real_t parent_value(const CompactStorage& storage, const LevelVector& l,
+                    const IndexVector& i, dim_t t, bool right) {
+  const flat_index_t p =
+      parent_flat_index(storage.grid(), l, i, t, right);
+  return p == kBoundaryParent ? real_t{0} : storage[p];
+}
+
+}  // namespace
+
+void hierarchize(CompactStorage& storage) {
+  const RegularSparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  const level_t n = grid.level();
+  for (dim_t t = 0; t < d; ++t) {
+    // Points with l[t] == 0 have both parents on the boundary: no-op.
+    for (level_t j = n; j-- > 1;) {
+      flat_index_t pos = grid.group_offset(j);
+      for (const LevelVector& l : LevelRange(d, j)) {
+        if (l[t] == 0) {
+          pos += grid.points_per_subspace(j);
+          continue;
+        }
+        IndexVector i(d, 1);
+        do {
+          const real_t v1 = parent_value(storage, l, i, t, /*right=*/false);
+          const real_t v2 = parent_value(storage, l, i, t, /*right=*/true);
+          storage[pos] -= (v1 + v2) / 2;
+          ++pos;
+        } while (advance_index(l, i));
+      }
+      CSG_ASSERT(pos == grid.group_offset(j + 1));
+    }
+  }
+}
+
+namespace {
+
+/// Scalar Alg. 1 recursion over one pole of dimension t in the flat array.
+/// Point (lev, c) — c = (i-1)/2 — sits at offs[lev] + ((A << lev) + c) * S
+/// + B. Forward: children consume the pre-update ancestor values riding
+/// down the recursion; inverse: the point is restored before its children
+/// read it.
+struct PoleTransform {
+  real_t* data;
+  const flat_index_t* offs;
+  flat_index_t prefix;  // A
+  flat_index_t stride;  // S
+  flat_index_t suffix;  // B
+  level_t budget;
+
+  flat_index_t position(level_t lev, flat_index_t c) const {
+    return offs[lev] + ((prefix << lev) + c) * stride + suffix;
+  }
+
+  void forward(level_t lev, flat_index_t c, real_t left, real_t right) const {
+    const flat_index_t pos = position(lev, c);
+    const real_t cur = data[pos];
+    if (lev < budget) {
+      forward(lev + 1, 2 * c, left, cur);
+      forward(lev + 1, 2 * c + 1, cur, right);
+    }
+    data[pos] = cur - (left + right) / 2;
+  }
+
+  void inverse(level_t lev, flat_index_t c, real_t left, real_t right) const {
+    const flat_index_t pos = position(lev, c);
+    const real_t cur = data[pos] + (left + right) / 2;
+    data[pos] = cur;
+    if (lev < budget) {
+      inverse(lev + 1, 2 * c, left, cur);
+      inverse(lev + 1, 2 * c + 1, cur, right);
+    }
+  }
+};
+
+void transform_poles(CompactStorage& storage, bool inverse_op) {
+  const RegularSparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  const level_t n = grid.level();
+  std::vector<flat_index_t> offs(n);
+  for (dim_t t = 0; t < d; ++t) {
+    // Pole roots: subspaces with l[t] = 0 in every level group.
+    for (level_t j = 0; j < n; ++j) {
+      for (const LevelVector& l : LevelRange(d, j)) {
+        if (l[t] != 0) continue;
+        const auto budget = static_cast<level_t>(n - 1 - j);
+        LevelVector lt = l;
+        for (level_t lev = 0; lev <= budget; ++lev) {
+          lt[t] = lev;
+          offs[lev] = grid.subspace_offset(lt);
+        }
+        flat_index_t prefix_count = 1, stride = 1;
+        for (dim_t s = 0; s < t; ++s) prefix_count <<= l[s];
+        for (dim_t s = t + 1; s < d; ++s) stride <<= l[s];
+        PoleTransform pole{storage.data(), offs.data(), 0, stride, 0, budget};
+        for (flat_index_t a = 0; a < prefix_count; ++a) {
+          pole.prefix = a;
+          for (flat_index_t b = 0; b < stride; ++b) {
+            pole.suffix = b;
+            if (inverse_op)
+              pole.inverse(0, 0, 0, 0);
+            else
+              pole.forward(0, 0, 0, 0);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void hierarchize_poles(CompactStorage& storage) {
+  transform_poles(storage, /*inverse_op=*/false);
+}
+
+void dehierarchize_poles(CompactStorage& storage) {
+  transform_poles(storage, /*inverse_op=*/true);
+}
+
+void hierarchize_literal(CompactStorage& storage) {
+  const RegularSparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  for (dim_t t = 0; t < d; ++t) {
+    for (flat_index_t j = grid.num_points(); j-- > 0;) {
+      const GridPoint gp = grid.idx2gp(j);
+      const real_t v1 = parent_value(storage, gp.level, gp.index, t, false);
+      const real_t v2 = parent_value(storage, gp.level, gp.index, t, true);
+      storage[j] -= (v1 + v2) / 2;
+    }
+  }
+}
+
+void dehierarchize(CompactStorage& storage) {
+  const RegularSparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  const level_t n = grid.level();
+  for (dim_t t = d; t-- > 0;) {
+    // Ascending level groups: a point's parents in dimension t are already
+    // restored to nodal-in-t values when the point itself is updated.
+    for (level_t j = 1; j < n; ++j) {
+      flat_index_t pos = grid.group_offset(j);
+      for (const LevelVector& l : LevelRange(d, j)) {
+        if (l[t] == 0) {
+          pos += grid.points_per_subspace(j);
+          continue;
+        }
+        IndexVector i(d, 1);
+        do {
+          const real_t v1 = parent_value(storage, l, i, t, false);
+          const real_t v2 = parent_value(storage, l, i, t, true);
+          storage[pos] += (v1 + v2) / 2;
+          ++pos;
+        } while (advance_index(l, i));
+      }
+      CSG_ASSERT(pos == grid.group_offset(j + 1));
+    }
+  }
+}
+
+}  // namespace csg

@@ -1,0 +1,89 @@
+#include "csg/core/truncated.hpp"
+
+#include <cmath>
+
+#include "csg/core/grid_point.hpp"
+#include "csg/core/level_enumeration.hpp"
+
+namespace csg {
+
+TruncatedStorage::TruncatedStorage(const CompactStorage& source,
+                                   real_t epsilon)
+    : grid_(source.grid()) {
+  CSG_EXPECTS(epsilon >= 0);
+  // One pass in flat (subspace-contiguous) order: collect survivors and
+  // accumulate the per-subspace maximum dropped surplus for the bound.
+  for (level_t j = 0; j < grid_.level(); ++j) {
+    const flat_index_t span = grid_.points_per_subspace(j);
+    flat_index_t pos = grid_.group_offset(j);
+    const flat_index_t group_end = grid_.group_offset(j + 1);
+    while (pos < group_end) {
+      real_t max_dropped = 0;
+      for (flat_index_t k = 0; k < span; ++k, ++pos) {
+        const real_t v = source[pos];
+        if (std::abs(v) > epsilon) {
+          indices_.push_back(pos);
+          values_.push_back(v);
+        } else {
+          max_dropped = std::max(max_dropped, std::abs(v));
+        }
+      }
+      error_bound_ += max_dropped;
+    }
+  }
+}
+
+TruncatedStorage::TruncatedStorage(RegularSparseGrid grid,
+                                   std::vector<flat_index_t> indices,
+                                   std::vector<real_t> values,
+                                   real_t error_bound)
+    : grid_(std::move(grid)), indices_(std::move(indices)),
+      values_(std::move(values)), error_bound_(error_bound) {
+  CSG_EXPECTS(indices_.size() == values_.size());
+  CSG_EXPECTS(error_bound >= 0);
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    CSG_EXPECTS(indices_[k] < grid_.num_points());
+    CSG_EXPECTS(k == 0 || indices_[k - 1] < indices_[k]);
+  }
+}
+
+real_t TruncatedStorage::evaluate(const CoordVector& x) const {
+  CSG_EXPECTS(x.size() == grid_.dim());
+  const dim_t d = grid_.dim();
+  real_t res = 0;
+  std::size_t cursor = 0;  // forward merge into the sorted survivors
+  flat_index_t index2 = 0;
+  for (level_t j = 0; j < grid_.level(); ++j) {
+    LevelVector l = first_level(d, j);
+    const std::uint64_t subspaces = grid_.subspaces_in_group(j);
+    for (std::uint64_t k = 0; k < subspaces; ++k) {
+      real_t prod = 1;
+      flat_index_t index1 = 0;
+      for (dim_t t = 0; t < d; ++t) {
+        const index1d_t i = support_index_1d(l[t], x[t]);
+        index1 = (index1 << l[t]) + ((i - 1) >> 1);
+        prod *= hat_basis_1d(l[t], i, x[t]);
+        if (prod == 0) break;
+      }
+      if (prod != 0) {
+        const flat_index_t target = index2 + index1;
+        while (cursor < indices_.size() && indices_[cursor] < target)
+          ++cursor;
+        if (cursor < indices_.size() && indices_[cursor] == target)
+          res += prod * values_[cursor];
+      }
+      index2 += grid_.points_per_subspace(j);
+      if (k + 1 < subspaces) advance_level(l);
+    }
+  }
+  return res;
+}
+
+CompactStorage TruncatedStorage::densify() const {
+  CompactStorage out(grid_);
+  for (std::size_t k = 0; k < indices_.size(); ++k)
+    out[indices_[k]] = values_[k];
+  return out;
+}
+
+}  // namespace csg

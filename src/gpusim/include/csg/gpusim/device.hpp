@@ -1,0 +1,209 @@
+// A functional + analytic model of a CUDA-era Nvidia GPU (paper Sec. 5.1).
+//
+// This environment has no GPU, so the paper's GPU experiments are
+// reproduced on a simulator (see DESIGN.md §5): kernels execute
+// functionally on the CPU under CUDA-like semantics (blocks, warps of 32,
+// barrier-delimited phases, per-block shared memory), while the executor
+// counts the events that dominated real Tesla-class performance —
+// global-memory transactions after coalescing, warp-divergence-induced
+// serialization, and occupancy as limited by shared memory consumption.
+// A deterministic timing model turns those counters into an estimated
+// kernel time. Absolute times are a model, not a measurement; the paper's
+// qualitative effects (evaluation ≫ hierarchization, occupancy decline
+// with growing d) all flow through these counters.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "csg/core/types.hpp"
+
+namespace csg::gpusim {
+
+/// Hardware parameters of the simulated device.
+struct DeviceSpec {
+  const char* name;
+  std::uint32_t num_sms;              // streaming multiprocessors
+  std::uint32_t sps_per_sm;           // scalar processors per SM
+  std::uint32_t warp_size;            // threads per warp
+  std::uint32_t max_threads_per_sm;   // resident thread contexts per SM
+  std::uint32_t max_threads_per_block;
+  std::uint64_t shared_mem_per_sm;    // bytes
+  std::uint64_t constant_cache_bytes; // per SM
+  double core_clock_ghz;              // SP issue clock
+  double mem_bandwidth_gbs;           // global memory bandwidth
+  double mem_latency_cycles;          // uncontended global load latency
+  std::uint32_t mem_transaction_bytes;  // coalescing segment size
+  double launch_overhead_ms;          // host-side cost per kernel launch
+  // Fermi-generation cache hierarchy (paper Sec. 8 future work): 0 bytes
+  // disables a level. Tesla-class parts have neither.
+  std::uint64_t l1_cache_per_sm;      // per-SM L1 for global accesses
+  std::uint64_t l2_cache_bytes;       // device-wide shared L2
+
+  /// Occupancy given a launch configuration: the fraction of the SM's
+  /// thread contexts kept resident, limited by block size granularity and
+  /// per-block shared memory (the limiter the paper hits as d grows,
+  /// Sec. 6.2).
+  double occupancy(std::uint32_t block_size,
+                   std::uint64_t shared_bytes_per_block) const {
+    CSG_EXPECTS(block_size >= 1 && block_size <= max_threads_per_block);
+    std::uint32_t blocks_by_threads = max_threads_per_sm / block_size;
+    std::uint32_t blocks_by_shared =
+        shared_bytes_per_block == 0
+            ? blocks_by_threads
+            : static_cast<std::uint32_t>(shared_mem_per_sm /
+                                         shared_bytes_per_block);
+    const std::uint32_t resident_blocks =
+        std::max(0u, std::min(blocks_by_threads, blocks_by_shared));
+    const double resident_threads =
+        static_cast<double>(resident_blocks) * block_size;
+    return std::min(1.0, resident_threads / max_threads_per_sm);
+  }
+};
+
+/// The Tesla C1060 of the paper's testbed (Sec. 6.2, [6][7]).
+inline constexpr DeviceSpec tesla_c1060() {
+  return {
+      .name = "Tesla C1060 (simulated)",
+      .num_sms = 30,
+      .sps_per_sm = 8,
+      .warp_size = 32,
+      .max_threads_per_sm = 1024,
+      .max_threads_per_block = 512,
+      .shared_mem_per_sm = 16 * 1024,
+      .constant_cache_bytes = 8 * 1024,
+      .core_clock_ghz = 1.296,
+      .mem_bandwidth_gbs = 102.0,
+      .mem_latency_cycles = 500.0,
+      .mem_transaction_bytes = 128,
+      .launch_overhead_ms = 0.007,
+      .l1_cache_per_sm = 0,
+      .l2_cache_bytes = 0,
+  };
+}
+
+/// The Fermi-generation follow-up the paper's conclusion mentions as future
+/// work: more SMs' worth of SPs, caches, larger shared memory.
+inline constexpr DeviceSpec fermi_c2050() {
+  return {
+      .name = "Fermi C2050 (simulated)",
+      .num_sms = 14,
+      .sps_per_sm = 32,
+      .warp_size = 32,
+      .max_threads_per_sm = 1536,
+      .max_threads_per_block = 1024,
+      .shared_mem_per_sm = 48 * 1024,
+      .constant_cache_bytes = 8 * 1024,
+      .core_clock_ghz = 1.15,
+      .mem_bandwidth_gbs = 144.0,
+      .mem_latency_cycles = 400.0,
+      .mem_transaction_bytes = 128,
+      .launch_overhead_ms = 0.005,
+      .l1_cache_per_sm = 16 * 1024,   // 16 KB L1 / 48 KB shared split
+      .l2_cache_bytes = 768 * 1024,   // "768 KB shared level-2" (Sec. 8)
+  };
+}
+
+/// Event counters accumulated by the executor over one kernel launch.
+struct PerfCounters {
+  std::uint64_t launched_blocks = 0;
+  std::uint64_t launched_threads = 0;
+  std::uint64_t warp_phases = 0;        // (warp, barrier-phase) pairs run
+  std::uint64_t warp_instructions = 0;  // per-warp max-lane issue slots
+  std::uint64_t thread_instructions = 0;  // sum over lanes (for divergence)
+  std::uint64_t global_transactions = 0;  // after coalescing AND caches:
+                                           // these reach DRAM
+  std::uint64_t l1_hit_transactions = 0;   // absorbed by the per-SM L1
+  std::uint64_t l2_hit_transactions = 0;   // absorbed by the device L2
+  std::uint64_t global_accesses = 0;      // individual lane accesses
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t constant_accesses = 0;
+
+  void merge(const PerfCounters& o) {
+    launched_blocks += o.launched_blocks;
+    launched_threads += o.launched_threads;
+    warp_phases += o.warp_phases;
+    warp_instructions += o.warp_instructions;
+    thread_instructions += o.thread_instructions;
+    global_transactions += o.global_transactions;
+    l1_hit_transactions += o.l1_hit_transactions;
+    l2_hit_transactions += o.l2_hit_transactions;
+    global_accesses += o.global_accesses;
+    shared_accesses += o.shared_accesses;
+    constant_accesses += o.constant_accesses;
+  }
+
+  /// SIMD efficiency: 1.0 when every issue slot is filled by all lanes.
+  double simd_efficiency(std::uint32_t warp_size) const {
+    if (warp_instructions == 0) return 1.0;
+    return static_cast<double>(thread_instructions) /
+           (static_cast<double>(warp_instructions) * warp_size);
+  }
+
+  /// Coalescing quality: lane accesses served per memory transaction
+  /// (warp_size is perfect, 1.0 is fully scattered). Counts transactions
+  /// before the caches so it measures coalescing, not cacheability.
+  double accesses_per_transaction() const {
+    const std::uint64_t issued =
+        global_transactions + l1_hit_transactions + l2_hit_transactions;
+    if (issued == 0) return 0.0;
+    return static_cast<double>(global_accesses) /
+           static_cast<double>(issued);
+  }
+
+  /// Fraction of coalesced transactions served by a cache level.
+  double cache_hit_rate() const {
+    const std::uint64_t issued =
+        global_transactions + l1_hit_transactions + l2_hit_transactions;
+    if (issued == 0) return 0.0;
+    return static_cast<double>(l1_hit_transactions + l2_hit_transactions) /
+           static_cast<double>(issued);
+  }
+};
+
+/// Modeled execution time of one kernel launch.
+struct KernelTiming {
+  double compute_ms;
+  double memory_ms;
+  double total_ms;
+  double occupancy;
+};
+
+/// Deterministic timing model (documented in DESIGN.md §5):
+///   T_compute = warp_instructions / (issue rate of all SMs)
+///   T_memory  = transactions * segment / bandwidth
+///   T = max(T_compute, T_memory) + hidden-latency shortfall
+/// The shortfall term charges a fraction of the raw load latency when
+/// occupancy is too low to hide it — the effect that caps the paper's
+/// speedups once per-thread shared memory grows linearly in d.
+inline KernelTiming model_kernel_time(const DeviceSpec& dev,
+                                      const PerfCounters& c,
+                                      double occupancy) {
+  // One warp instruction occupies SM issue for warp_size / sps_per_sm cycles.
+  const double issue_cycles =
+      static_cast<double>(c.warp_instructions) *
+      (static_cast<double>(dev.warp_size) / dev.sps_per_sm);
+  const double cycles_per_ms = dev.core_clock_ghz * 1e6;
+  const double compute_ms = issue_cycles / (dev.num_sms * cycles_per_ms);
+
+  const double bytes = static_cast<double>(c.global_transactions) *
+                       dev.mem_transaction_bytes;
+  // Cache-served transactions still occupy the on-chip interconnect; bill
+  // them at 4x DRAM bandwidth (L2) / free (L1), a coarse Fermi-era ratio.
+  const double l2_bytes = static_cast<double>(c.l2_hit_transactions) *
+                          dev.mem_transaction_bytes;
+  const double memory_ms =
+      (bytes + l2_bytes / 4.0) / (dev.mem_bandwidth_gbs * 1e6);
+
+  // Latency the resident warps cannot hide: each transaction costs
+  // mem_latency_cycles; with occupancy o, a (1 - o) fraction surfaces.
+  const double exposed_latency_ms =
+      (1.0 - occupancy) * static_cast<double>(c.global_transactions) *
+      dev.mem_latency_cycles / (dev.num_sms * cycles_per_ms);
+
+  const double total_ms =
+      std::max(compute_ms, memory_ms) + exposed_latency_ms;
+  return {compute_ms, memory_ms, total_ms, occupancy};
+}
+
+}  // namespace csg::gpusim

@@ -1,0 +1,302 @@
+// The CUDA-like executor: functional kernel execution with event counting.
+//
+// Programming model (mirrors Sec. 5.2 of the paper):
+//  * a launch runs `num_blocks` blocks of `block_size` threads;
+//  * the block body is ordinary C++ driving barrier-delimited PHASES —
+//    `block.all(fn)` runs fn for every thread of the block and then acts as
+//    __syncthreads(); `block.master(fn)` is a phase executed by thread 0
+//    only (the paper's "only the master thread modifies l" idiom);
+//  * inside a phase, threads access device memory through the ThreadCtx:
+//    ld/st on GlobalBuffer (counted + coalesced into transactions),
+//    ConstantBuffer reads (counted, cached), SharedArray reads/writes
+//    (counted), and flop() for arithmetic work.
+//
+// Coalescing is computed from real addresses: within each warp the k-th
+// global access of every lane forms one SIMD access whose distinct
+// 128-byte segments become memory transactions — the same rule the CUDA 2.x
+// hardware applied. Divergence shows up as lanes with shorter event lists:
+// the warp still issues max-lane instructions (serialized execution),
+// which the SIMD-efficiency counter exposes.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "csg/gpusim/device.hpp"
+#include "csg/memsim/cache.hpp"
+
+namespace csg::gpusim {
+
+class Launcher;
+class Block;
+class ThreadCtx;
+
+namespace detail {
+struct Event {
+  enum Kind : std::uint8_t { kGlobal, kCompute } kind;
+  std::uint64_t value;  // byte address for kGlobal, weight for kCompute
+};
+
+/// The device's (optional) cache hierarchy for global memory accesses —
+/// present on Fermi-generation specs (paper Sec. 8 future work), absent on
+/// Tesla. One L1 per SM plus a device-wide L2, persistent across kernel
+/// launches like real hardware.
+struct DeviceCaches {
+  std::vector<memsim::Cache> l1;  // one per SM; empty if no L1
+  std::unique_ptr<memsim::Cache> l2;
+
+  void flush() {
+    for (memsim::Cache& c : l1) c.flush();
+    if (l2) l2->flush();
+  }
+};
+}  // namespace detail
+
+/// An array in simulated device global memory. Host code reads/writes it
+/// freely (upload/download); kernel code must go through ThreadCtx::ld/st
+/// so the accesses are counted.
+template <typename T>
+class GlobalBuffer {
+ public:
+  GlobalBuffer(Launcher& launcher, std::size_t count);
+  GlobalBuffer(Launcher& launcher, const std::vector<T>& host);
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t base_address() const { return base_; }
+
+  /// Host-side access (cudaMemcpy stand-ins).
+  std::vector<T>& host() { return data_; }
+  const std::vector<T>& host() const { return data_; }
+
+ private:
+  friend class ThreadCtx;
+  std::vector<T> data_;
+  std::uint64_t base_;
+};
+
+/// Read-only data in the simulated constant cache (binmat's home per
+/// Sec. 5.3). Reads are counted but generate no global transactions.
+template <typename T>
+class ConstantBuffer {
+ public:
+  explicit ConstantBuffer(std::vector<T> host) : data_(std::move(host)) {}
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+ private:
+  friend class ThreadCtx;
+  std::vector<T> data_;
+};
+
+/// Per-block shared memory array, allocated through Block::alloc_shared so
+/// usage is checked against the launch's declared shared memory budget.
+template <typename T>
+class SharedArray {
+ public:
+  T read(ThreadCtx& ctx, std::size_t idx) const;
+  void write(ThreadCtx& ctx, std::size_t idx, T v);
+
+  /// Un-counted access for host-style initialization inside master phases
+  /// where the cost is already modeled by the surrounding loads.
+  T& raw(std::size_t idx) { return data_[idx]; }
+
+ private:
+  friend class Block;
+  explicit SharedArray(std::size_t count) : data_(count) {}
+  std::vector<T> data_;
+};
+
+/// Handle a kernel phase body receives for one thread.
+class ThreadCtx {
+ public:
+  std::uint32_t tid() const { return tid_; }
+  std::uint32_t lane() const;
+  std::uint32_t block_id() const;
+  std::uint32_t block_size() const;
+
+  template <typename T>
+  T ld(const GlobalBuffer<T>& buf, std::size_t idx) {
+    CSG_ASSERT(idx < buf.data_.size());
+    events_.push_back({detail::Event::kGlobal,
+                       buf.base_ + idx * static_cast<std::uint64_t>(sizeof(T))});
+    return buf.data_[idx];
+  }
+
+  template <typename T>
+  void st(GlobalBuffer<T>& buf, std::size_t idx, T v) {
+    CSG_ASSERT(idx < buf.data_.size());
+    events_.push_back({detail::Event::kGlobal,
+                       buf.base_ + idx * static_cast<std::uint64_t>(sizeof(T))});
+    buf.data_[idx] = v;
+  }
+
+  template <typename T>
+  T ld_const(const ConstantBuffer<T>& buf, std::size_t idx) {
+    CSG_ASSERT(idx < buf.data_.size());
+    ++constant_accesses_;
+    events_.push_back({detail::Event::kCompute, 1});  // issue slot, no DRAM
+    return buf.data_[idx];
+  }
+
+  /// Account `n` arithmetic instructions.
+  void flop(std::uint32_t n = 1) {
+    if (n > 0) events_.push_back({detail::Event::kCompute, n});
+  }
+
+ private:
+  friend class Block;
+  template <typename T>
+  friend class SharedArray;
+
+  ThreadCtx(std::uint32_t tid, Block* block) : tid_(tid), block_(block) {}
+
+  std::uint32_t tid_;
+  Block* block_;
+  std::vector<detail::Event> events_;
+  std::uint64_t shared_accesses_ = 0;
+  std::uint64_t constant_accesses_ = 0;
+};
+
+/// One thread block in flight. The launch body drives phases on it.
+class Block {
+ public:
+  std::uint32_t block_id() const { return block_id_; }
+  std::uint32_t size() const { return block_size_; }
+
+  /// Run one barrier-delimited phase over all threads of the block.
+  void all(const std::function<void(ThreadCtx&)>& fn) { run_phase(fn, false); }
+
+  /// Run a phase executed by thread 0 only (other lanes idle — their warp
+  /// still occupies issue slots, which the counters reflect).
+  void master(const std::function<void(ThreadCtx&)>& fn) {
+    run_phase(fn, true);
+  }
+
+  /// Allocate a shared memory array; total allocation must stay within the
+  /// shared bytes declared at launch (that is what occupancy was charged
+  /// for).
+  template <typename T>
+  SharedArray<T> alloc_shared(std::size_t count) {
+    shared_allocated_ += count * sizeof(T);
+    CSG_EXPECTS(shared_allocated_ <= shared_budget_ &&
+                "kernel allocated more shared memory than declared");
+    return SharedArray<T>(count);
+  }
+
+ private:
+  friend class Launcher;
+  friend class ThreadCtx;
+  template <typename T>
+  friend class SharedArray;
+
+  Block(std::uint32_t block_id, std::uint32_t block_size,
+        std::uint64_t shared_budget, std::uint32_t warp_size,
+        std::uint32_t transaction_bytes, PerfCounters* counters,
+        detail::DeviceCaches* caches, std::uint32_t sm_id)
+      : block_id_(block_id), block_size_(block_size),
+        shared_budget_(shared_budget), warp_size_(warp_size),
+        transaction_bytes_(transaction_bytes), counters_(counters),
+        caches_(caches), sm_id_(sm_id) {}
+
+  void run_phase(const std::function<void(ThreadCtx&)>& fn, bool master_only);
+  void analyze_phase(std::vector<std::vector<detail::Event>>& lanes);
+
+  std::uint32_t block_id_;
+  std::uint32_t block_size_;
+  std::uint64_t shared_budget_;
+  std::uint32_t warp_size_;
+  std::uint32_t transaction_bytes_;
+  std::uint64_t shared_allocated_ = 0;
+  PerfCounters* counters_;
+  detail::DeviceCaches* caches_;
+  std::uint32_t sm_id_;
+};
+
+template <typename T>
+T SharedArray<T>::read(ThreadCtx& ctx, std::size_t idx) const {
+  CSG_ASSERT(idx < data_.size());
+  ++ctx.shared_accesses_;
+  ctx.events_.push_back({detail::Event::kCompute, 1});
+  return data_[idx];
+}
+
+template <typename T>
+void SharedArray<T>::write(ThreadCtx& ctx, std::size_t idx, T v) {
+  CSG_ASSERT(idx < data_.size());
+  ++ctx.shared_accesses_;
+  ctx.events_.push_back({detail::Event::kCompute, 1});
+  data_[idx] = v;
+}
+
+/// Owns the simulated device: allocates global buffers, launches kernels,
+/// accumulates counters and modeled time across launches.
+class Launcher {
+ public:
+  explicit Launcher(DeviceSpec spec) : spec_(spec) {
+    if (spec_.l1_cache_per_sm > 0)
+      for (std::uint32_t sm = 0; sm < spec_.num_sms; ++sm)
+        caches_.l1.emplace_back(memsim::CacheConfig{
+            spec_.l1_cache_per_sm, spec_.mem_transaction_bytes, 8});
+    if (spec_.l2_cache_bytes > 0)
+      caches_.l2 = std::make_unique<memsim::Cache>(memsim::CacheConfig{
+          spec_.l2_cache_bytes, spec_.mem_transaction_bytes, 12});
+  }
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Execute a kernel: `body(block)` runs once per block and drives the
+  /// phases. Returns the modeled timing of this launch; totals accumulate.
+  KernelTiming launch(std::uint32_t num_blocks, std::uint32_t block_size,
+                      std::uint64_t shared_bytes_per_block,
+                      const std::function<void(Block&)>& body);
+
+  /// Counters and modeled time accumulated since construction/reset.
+  const PerfCounters& total_counters() const { return totals_; }
+  double total_modeled_ms() const { return total_ms_; }
+  std::uint64_t launch_count() const { return launch_count_; }
+  /// Launch-weighted mean occupancy across all launches so far.
+  double mean_occupancy() const {
+    return launch_count_ == 0 ? 1.0 : occupancy_sum_ / launch_count_;
+  }
+
+  void reset() {
+    totals_ = {};
+    total_ms_ = 0;
+    occupancy_sum_ = 0;
+    launch_count_ = 0;
+    caches_.flush();
+  }
+
+ private:
+  template <typename T>
+  friend class GlobalBuffer;
+
+  std::uint64_t allocate(std::uint64_t bytes) {
+    const std::uint64_t base = next_base_;
+    // Segment-align every buffer so cross-buffer accesses never share a
+    // transaction, as with real cudaMalloc alignment.
+    next_base_ += (bytes + 255) / 256 * 256 + 256;
+    return base;
+  }
+
+  DeviceSpec spec_;
+  detail::DeviceCaches caches_;
+  std::uint64_t next_base_ = 1024;
+  PerfCounters totals_{};
+  double total_ms_ = 0;
+  double occupancy_sum_ = 0;
+  std::uint64_t launch_count_ = 0;
+};
+
+template <typename T>
+GlobalBuffer<T>::GlobalBuffer(Launcher& launcher, std::size_t count)
+    : data_(count), base_(launcher.allocate(count * sizeof(T))) {}
+
+template <typename T>
+GlobalBuffer<T>::GlobalBuffer(Launcher& launcher, const std::vector<T>& host)
+    : data_(host), base_(launcher.allocate(host.size() * sizeof(T))) {}
+
+}  // namespace csg::gpusim

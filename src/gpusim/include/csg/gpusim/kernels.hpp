@@ -1,0 +1,80 @@
+// The paper's GPU kernels (Sec. 5.3) written against the simulator.
+//
+// Hierarchization: one thread block per subspace, one kernel launch per
+// level group and dimension (the repeated launches are the paper's global
+// barrier between groups). Own-coefficient accesses are coalesced; parent
+// reads are the scattered accesses Fig. 5 (right) shows cannot be packed.
+//
+// Evaluation: one thread per evaluation point, blocks walk all subspaces
+// with the next iterator. Coordinates are staged into shared memory with a
+// cooperative coalesced copy.
+//
+// Both kernels are parameterized by the paper's two ablations:
+//  * where binmat lives: constant cache, shared memory, or recomputed on
+//    the fly (Sec. 5.3 reports on-the-fly being ~4x slower);
+//  * whether the level vector l is per-thread or block-shared (Sec. 5.3
+//    reports 1.62x / 1.59x from sharing, via occupancy).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "csg/core/compact_storage.hpp"
+#include "csg/gpusim/executor.hpp"
+
+namespace csg::gpusim {
+
+// Where binmat lives on the device (Sec. 5.3's three options, plus the
+// Fermi-era fourth: plain global memory behind the L1/L2 hierarchy —
+// pointless on Tesla, near-constant-cache on Fermi, which is part of the
+// "tune for Fermi" plan of the paper's conclusion).
+enum class BinmatMode { kConstantCache, kSharedMemory, kOnTheFly, kGlobalCached };
+enum class LevelVectorMode { kBlockShared, kPerThread };
+
+/// Outcome of running one sparse grid operation on the simulated device.
+struct GpuRunReport {
+  double modeled_ms = 0;       // sum of modeled kernel times
+  double mean_occupancy = 1;   // launch-weighted
+  std::uint64_t launches = 0;
+  PerfCounters counters;       // accumulated over all launches
+};
+
+/// Kernel launch configuration.
+struct GpuConfig {
+  BinmatMode binmat = BinmatMode::kConstantCache;
+  LevelVectorMode level_vector = LevelVectorMode::kBlockShared;
+  std::uint32_t block_size = 64;
+};
+
+/// Run the full multi-dimensional hierarchization of `storage` on the
+/// simulated device. The coefficients in `storage` are updated in place
+/// (upload, n*d kernel launches, download) and are bit-identical to the
+/// CPU algorithm's result.
+GpuRunReport gpu_hierarchize(Launcher& launcher, CompactStorage& storage,
+                             const GpuConfig& config = {});
+
+/// Run the inverse transform (decompression back to nodal values) on the
+/// simulated device: the mirror image of gpu_hierarchize with ascending
+/// level groups. Bit-identical to the CPU dehierarchize().
+GpuRunReport gpu_dehierarchize(Launcher& launcher, CompactStorage& storage,
+                               const GpuConfig& config = {});
+
+/// Evaluate the sparse grid function at `points` on the simulated device.
+/// Results are bit-identical to evaluate() up to floating point summation
+/// order (the kernel uses the same subspace order, so in fact identical).
+std::vector<real_t> gpu_evaluate(Launcher& launcher,
+                                 const CompactStorage& storage,
+                                 std::span<const CoordVector> points,
+                                 GpuRunReport* report = nullptr,
+                                 const GpuConfig& config = {});
+
+/// Shared memory bytes per block a hierarchization launch consumes under
+/// `config` for dimension d (drives occupancy; exposed for tests).
+std::uint64_t hierarchize_shared_bytes(dim_t d, level_t n,
+                                       const GpuConfig& config);
+
+/// Shared memory bytes per block of the evaluation kernel.
+std::uint64_t evaluate_shared_bytes(dim_t d, level_t n,
+                                    const GpuConfig& config);
+
+}  // namespace csg::gpusim

@@ -1,0 +1,108 @@
+#include "csg/gpusim/executor.hpp"
+
+#include <algorithm>
+
+namespace csg::gpusim {
+
+std::uint32_t ThreadCtx::lane() const { return tid_ % block_->warp_size_; }
+std::uint32_t ThreadCtx::block_id() const { return block_->block_id_; }
+std::uint32_t ThreadCtx::block_size() const { return block_->block_size_; }
+
+void Block::run_phase(const std::function<void(ThreadCtx&)>& fn,
+                      bool master_only) {
+  const std::uint32_t active = master_only ? 1 : block_size_;
+  std::vector<std::vector<detail::Event>> lanes(block_size_);
+  for (std::uint32_t tid = 0; tid < active; ++tid) {
+    ThreadCtx ctx(tid, this);
+    fn(ctx);
+    counters_->shared_accesses += ctx.shared_accesses_;
+    counters_->constant_accesses += ctx.constant_accesses_;
+    lanes[tid] = std::move(ctx.events_);
+  }
+  analyze_phase(lanes);
+}
+
+void Block::analyze_phase(std::vector<std::vector<detail::Event>>& lanes) {
+  const std::uint32_t num_warps =
+      (block_size_ + warp_size_ - 1) / warp_size_;
+  std::vector<std::uint64_t> segments;
+  for (std::uint32_t w = 0; w < num_warps; ++w) {
+    const std::uint32_t lo = w * warp_size_;
+    const std::uint32_t hi = std::min(lo + warp_size_, block_size_);
+    std::size_t max_len = 0;
+    for (std::uint32_t t = lo; t < hi; ++t)
+      max_len = std::max(max_len, lanes[t].size());
+    if (max_len == 0) continue;
+    ++counters_->warp_phases;
+    // Lockstep replay: the k-th event of every lane shares one issue slot.
+    for (std::size_t o = 0; o < max_len; ++o) {
+      segments.clear();
+      std::uint64_t compute_weight = 0;  // max over lanes in this slot
+      std::uint64_t lane_work = 0;       // sum over lanes (SIMD efficiency)
+      for (std::uint32_t t = lo; t < hi; ++t) {
+        if (o >= lanes[t].size()) continue;
+        const detail::Event& e = lanes[t][o];
+        if (e.kind == detail::Event::kGlobal) {
+          segments.push_back(e.value / transaction_bytes_);
+          ++counters_->global_accesses;
+          lane_work += 1;
+        } else {
+          compute_weight = std::max(compute_weight, e.value);
+          lane_work += e.value;
+        }
+      }
+      if (!segments.empty()) {
+        std::sort(segments.begin(), segments.end());
+        const auto unique_end = std::unique(segments.begin(), segments.end());
+        for (auto it = segments.begin(); it != unique_end; ++it) {
+          const std::uint64_t addr = *it * transaction_bytes_;
+          if (caches_ != nullptr && !caches_->l1.empty() &&
+              caches_->l1[sm_id_].access(addr)) {
+            ++counters_->l1_hit_transactions;
+          } else if (caches_ != nullptr && caches_->l2 &&
+                     caches_->l2->access(addr)) {
+            ++counters_->l2_hit_transactions;
+          } else {
+            ++counters_->global_transactions;
+          }
+        }
+      }
+      // The slot costs the widest compute burst among (possibly diverged)
+      // lanes, or one issue if it is a pure memory slot.
+      std::uint64_t slot_cost = compute_weight;
+      if (!segments.empty() || slot_cost == 0)
+        slot_cost = std::max<std::uint64_t>(slot_cost, 1);
+      counters_->warp_instructions += slot_cost;
+      counters_->thread_instructions += lane_work;
+    }
+  }
+}
+
+KernelTiming Launcher::launch(std::uint32_t num_blocks,
+                              std::uint32_t block_size,
+                              std::uint64_t shared_bytes_per_block,
+                              const std::function<void(Block&)>& body) {
+  CSG_EXPECTS(num_blocks >= 1);
+  CSG_EXPECTS(block_size >= 1 && block_size <= spec_.max_threads_per_block);
+  PerfCounters lc;
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    // Blocks land on SMs round-robin, so each per-SM L1 sees its share.
+    Block block(b, block_size, shared_bytes_per_block, spec_.warp_size,
+                spec_.mem_transaction_bytes, &lc, &caches_,
+                b % spec_.num_sms);
+    body(block);
+  }
+  lc.launched_blocks = num_blocks;
+  lc.launched_threads =
+      static_cast<std::uint64_t>(num_blocks) * block_size;
+  const double occ = spec_.occupancy(block_size, shared_bytes_per_block);
+  KernelTiming timing = model_kernel_time(spec_, lc, occ);
+  timing.total_ms += spec_.launch_overhead_ms;
+  totals_.merge(lc);
+  total_ms_ += timing.total_ms;
+  occupancy_sum_ += occ;
+  ++launch_count_;
+  return timing;
+}
+
+}  // namespace csg::gpusim

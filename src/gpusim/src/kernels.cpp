@@ -1,0 +1,374 @@
+#include "csg/gpusim/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "csg/core/binomial_table.hpp"
+#include "csg/core/grid_point.hpp"
+#include "csg/core/level_enumeration.hpp"
+
+namespace csg::gpusim {
+
+namespace {
+
+/// Counted access to binmat under the three placement options of Sec. 5.3.
+/// The functional value always comes from the host-side table; the mode
+/// decides which events the access generates.
+class DeviceBinmat {
+ public:
+  DeviceBinmat(BinmatMode mode, const ConstantBuffer<std::uint64_t>* cbuf,
+               const SharedArray<std::uint64_t>* sbuf,
+               const GlobalBuffer<std::uint64_t>* gbuf)
+      : mode_(mode), cbuf_(cbuf), sbuf_(sbuf), gbuf_(gbuf) {}
+
+  std::uint64_t operator()(ThreadCtx& th, std::uint32_t a,
+                           std::uint32_t b) const {
+    switch (mode_) {
+      case BinmatMode::kConstantCache:
+        return th.ld_const(*cbuf_, BinomialTable::flat_index(a, b));
+      case BinmatMode::kSharedMemory:
+        return const_cast<SharedArray<std::uint64_t>*>(sbuf_)->read(
+            th, BinomialTable::flat_index(a, b));
+      case BinmatMode::kGlobalCached:
+        // A plain global load: on cache-less Tesla every lookup is a DRAM
+        // transaction; on Fermi the table lives in L1 after first touch.
+        return th.ld(*const_cast<GlobalBuffer<std::uint64_t>*>(gbuf_),
+                     BinomialTable::flat_index(a, b));
+      case BinmatMode::kOnTheFly: {
+        // Multiplicative evaluation: each factor costs a 64-bit multiply
+        // plus a 64-bit integer division, and compute-capability-1.x
+        // hardware emulates the latter in dozens of instructions — the
+        // source of the ~4x slower hierarchization the paper reports in
+        // Sec. 5.3.
+        const std::uint32_t k = std::min(b, a - b);
+        th.flop(20 * k + 2);
+        return binomial_on_the_fly(a, b);
+      }
+    }
+    return 0;  // unreachable
+  }
+
+ private:
+  BinmatMode mode_;
+  const ConstantBuffer<std::uint64_t>* cbuf_;
+  const SharedArray<std::uint64_t>* sbuf_;
+  const GlobalBuffer<std::uint64_t>* gbuf_;
+};
+
+/// Counted device transcription of unrank_subspace (block master work).
+LevelVector device_unrank(ThreadCtx& th, const DeviceBinmat& binom, dim_t d,
+                          level_t n, std::uint64_t rank) {
+  LevelVector l(d, 0);
+  level_t remaining = n;
+  for (dim_t t = d - 1; t >= 1; --t) {
+    level_t k = 0;
+    for (;; ++k) {
+      const std::uint64_t block = binom(th, t - 1 + remaining - k, t - 1);
+      th.flop(1);  // compare + branch
+      if (rank < block) break;
+      rank -= block;
+    }
+    l[t] = k;
+    remaining -= k;
+  }
+  l[0] = remaining;
+  return l;
+}
+
+/// Counted device transcription of gp2idx (Alg. 5): index1 in d flops,
+/// index2 with two binmat lookups per dimension, index3 as one constant
+/// lookup into the group offset table.
+flat_index_t device_gp2idx(ThreadCtx& th, const DeviceBinmat& binom,
+                           const ConstantBuffer<flat_index_t>& goff,
+                           const LevelVector& l, const IndexVector& i) {
+  const dim_t d = l.size();
+  flat_index_t index1 = 0;
+  for (dim_t t = 0; t < d; ++t) {
+    index1 = (index1 << l[t]) + ((i[t] - 1) >> 1);
+    th.flop(3);
+  }
+  std::uint64_t sum = l[0];
+  std::uint64_t index2 = 0;
+  for (dim_t t = 1; t < d; ++t) {
+    index2 -= binom(th, static_cast<std::uint32_t>(t + sum), t);
+    sum += l[t];
+    index2 += binom(th, static_cast<std::uint32_t>(t + sum), t);
+    th.flop(3);
+  }
+  index2 <<= sum;
+  const flat_index_t index3 =
+      th.ld_const(goff, static_cast<std::size_t>(sum));
+  return index1 + index2 + index3;
+}
+
+/// Shared bytes for the per-thread scratch arrays the paper keeps in
+/// shared memory ("private to each thread, have length d", Sec. 5.3).
+std::uint64_t scratch_bytes(dim_t d, std::uint32_t block_size,
+                            LevelVectorMode mode) {
+  const std::uint64_t index_scratch =
+      static_cast<std::uint64_t>(block_size) * d * sizeof(std::uint32_t);
+  const std::uint64_t level_bytes =
+      mode == LevelVectorMode::kBlockShared
+          ? static_cast<std::uint64_t>(d) * sizeof(std::uint32_t)
+          : static_cast<std::uint64_t>(block_size) * d * sizeof(std::uint32_t);
+  return index_scratch + level_bytes;
+}
+
+std::uint64_t binmat_shared_bytes(dim_t d, level_t n, BinmatMode mode) {
+  if (mode != BinmatMode::kSharedMemory) return 0;
+  const std::uint32_t rows = d - 1 + n + 1;
+  return static_cast<std::uint64_t>(rows) * (rows + 1) / 2 *
+         sizeof(std::uint64_t);
+}
+
+}  // namespace
+
+std::uint64_t hierarchize_shared_bytes(dim_t d, level_t n,
+                                       const GpuConfig& config) {
+  return scratch_bytes(d, config.block_size, config.level_vector) +
+         binmat_shared_bytes(d, n, config.binmat);
+}
+
+std::uint64_t evaluate_shared_bytes(dim_t d, level_t n,
+                                    const GpuConfig& config) {
+  const std::uint64_t coords =
+      static_cast<std::uint64_t>(config.block_size) * d * sizeof(real_t);
+  return coords + scratch_bytes(d, config.block_size, config.level_vector) +
+         binmat_shared_bytes(d, n, config.binmat);
+}
+
+namespace {
+
+/// Shared body of the transform kernels: hierarchization (descending level
+/// groups, subtracting the parent mean) and its inverse (ascending groups,
+/// adding it). One kernel launch per (dimension, level group) pair acts as
+/// the global barrier of Sec. 5.3.
+GpuRunReport run_transform(Launcher& launcher, CompactStorage& storage,
+                           const GpuConfig& config, bool inverse) {
+  const RegularSparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  const level_t n = grid.level();
+  launcher.reset();
+
+  GlobalBuffer<real_t> raw(launcher, storage.values());
+  GlobalBuffer<std::uint64_t> gbin(launcher, grid.binmat().flat());
+  ConstantBuffer<std::uint64_t> cbin(grid.binmat().flat());
+  std::vector<flat_index_t> goff_host(n + 1);
+  for (level_t j = 0; j <= n; ++j) goff_host[j] = grid.group_offset(j);
+  ConstantBuffer<flat_index_t> goff(goff_host);
+
+  const std::uint64_t shared = hierarchize_shared_bytes(d, n, config);
+  const std::uint32_t bs = config.block_size;
+
+  for (dim_t td = 0; td < d; ++td) {
+    // Hierarchization sweeps dimensions forward over descending groups;
+    // the inverse sweeps dimensions backward over ascending groups.
+    const dim_t t = inverse ? d - 1 - td : td;
+    for (level_t jd = 1; jd < n; ++jd) {
+      const level_t j = inverse ? jd : n - jd;
+      const auto subspaces =
+          static_cast<std::uint32_t>(grid.subspaces_in_group(j));
+      const flat_index_t points = grid.points_per_subspace(j);
+      launcher.launch(subspaces, bs, shared, [&](Block& blk) {
+        SharedArray<std::uint64_t> sbin = blk.alloc_shared<std::uint64_t>(
+            config.binmat == BinmatMode::kSharedMemory
+                ? grid.binmat().flat().size()
+                : 0);
+        if (config.binmat == BinmatMode::kSharedMemory) {
+          // Cooperative coalesced copy of binmat into shared memory.
+          blk.all([&](ThreadCtx& th) {
+            for (std::size_t idx = th.tid(); idx < gbin.size();
+                 idx += blk.size())
+              sbin.write(th, idx, th.ld(gbin, idx));
+          });
+        }
+        const DeviceBinmat binom(config.binmat, &cbin, &sbin, &gbin);
+        SharedArray<std::uint32_t> ls = blk.alloc_shared<std::uint32_t>(d);
+
+        LevelVector l_shared;  // functional value of the shared l
+        if (config.level_vector == LevelVectorMode::kBlockShared) {
+          blk.master([&](ThreadCtx& th) {
+            const LevelVector l =
+                device_unrank(th, binom, d, j, blk.block_id());
+            for (dim_t s = 0; s < d; ++s)
+              ls.write(th, s, static_cast<std::uint32_t>(l[s]));
+          });
+          for (dim_t s = 0; s < d; ++s)
+            l_shared.push_back(ls.raw(s));
+        }
+
+        const flat_index_t base =
+            goff_host[j] + points * blk.block_id();
+        blk.all([&](ThreadCtx& th) {
+          LevelVector l;
+          if (config.level_vector == LevelVectorMode::kBlockShared) {
+            l = l_shared;
+            for (dim_t s = 0; s < d; ++s) ls.read(th, s);
+          } else {
+            l = device_unrank(th, binom, d, j, blk.block_id());
+          }
+          if (l[t] == 0) return;  // whole subspace is a no-op in dim t
+          for (flat_index_t k = th.tid(); k < points; k += blk.size()) {
+            // Decode i from the in-subspace position (index odometer of the
+            // compact layout).
+            IndexVector i(d);
+            flat_index_t rem = k;
+            for (dim_t s = d; s-- > 0;) {
+              const flat_index_t mask = (flat_index_t{1} << l[s]) - 1;
+              i[s] = 2 * (rem & mask) + 1;
+              rem >>= l[s];
+              th.flop(3);
+            }
+            const flat_index_t own = base + k;
+            const real_t val = th.ld(raw, own);  // coalesced across warp
+            real_t parents = 0;
+            for (const bool right : {false, true}) {
+              const Parent1d p = right ? right_parent_1d(l[t], i[t])
+                                       : left_parent_1d(l[t], i[t]);
+              th.flop(3);  // endpoint arithmetic + ctz
+              if (p.is_boundary) continue;  // divergent lane: fewer events
+              LevelVector lp = l;
+              IndexVector ip = i;
+              lp[t] = p.level;
+              ip[t] = p.index;
+              const flat_index_t pidx =
+                  device_gp2idx(th, binom, goff, lp, ip);
+              parents += th.ld(raw, pidx);  // scattered: cannot coalesce
+              th.flop(2);
+            }
+            // Same rounding as the CPU algorithms: bit-identical results.
+            th.st(raw, own,
+                  inverse ? val + parents / 2 : val - parents / 2);
+          }
+        });
+      });
+    }
+  }
+  storage.values() = raw.host();  // download
+
+  GpuRunReport report;
+  report.modeled_ms = launcher.total_modeled_ms();
+  report.mean_occupancy = launcher.mean_occupancy();
+  report.launches = launcher.launch_count();
+  report.counters = launcher.total_counters();
+  return report;
+}
+
+}  // namespace
+
+GpuRunReport gpu_hierarchize(Launcher& launcher, CompactStorage& storage,
+                             const GpuConfig& config) {
+  return run_transform(launcher, storage, config, /*inverse=*/false);
+}
+
+GpuRunReport gpu_dehierarchize(Launcher& launcher, CompactStorage& storage,
+                               const GpuConfig& config) {
+  return run_transform(launcher, storage, config, /*inverse=*/true);
+}
+
+std::vector<real_t> gpu_evaluate(Launcher& launcher,
+                                 const CompactStorage& storage,
+                                 std::span<const CoordVector> points,
+                                 GpuRunReport* report,
+                                 const GpuConfig& config) {
+  const RegularSparseGrid& grid = storage.grid();
+  const dim_t d = grid.dim();
+  const level_t n = grid.level();
+  launcher.reset();
+
+  GlobalBuffer<real_t> raw(launcher, storage.values());
+  GlobalBuffer<std::uint64_t> gbin(launcher, grid.binmat().flat());
+  ConstantBuffer<std::uint64_t> cbin(grid.binmat().flat());
+  std::vector<flat_index_t> goff_host(n + 1);
+  for (level_t j = 0; j <= n; ++j) goff_host[j] = grid.group_offset(j);
+  ConstantBuffer<flat_index_t> goff(goff_host);
+
+  // coords flattened [point][dim]; the per-block region is contiguous, so
+  // the cooperative copy below is fully coalesced.
+  std::vector<real_t> coords_host;
+  coords_host.reserve(points.size() * d);
+  for (const CoordVector& p : points)
+    coords_host.insert(coords_host.end(), p.begin(), p.end());
+  GlobalBuffer<real_t> gcoords(launcher, coords_host);
+  GlobalBuffer<real_t> gout(launcher, points.size());
+
+  const std::uint32_t bs = config.block_size;
+  const auto num_blocks =
+      static_cast<std::uint32_t>((points.size() + bs - 1) / bs);
+  const std::uint64_t shared = evaluate_shared_bytes(d, n, config);
+
+  launcher.launch(num_blocks, bs, shared, [&](Block& blk) {
+    const std::size_t base_p = static_cast<std::size_t>(blk.block_id()) * bs;
+    const std::size_t block_points =
+        std::min<std::size_t>(bs, points.size() - base_p);
+
+    SharedArray<std::uint64_t> sbin = blk.alloc_shared<std::uint64_t>(
+        config.binmat == BinmatMode::kSharedMemory ? grid.binmat().flat().size()
+                                                   : 0);
+    if (config.binmat == BinmatMode::kSharedMemory) {
+      blk.all([&](ThreadCtx& th) {
+        for (std::size_t idx = th.tid(); idx < gbin.size(); idx += blk.size())
+          sbin.write(th, idx, th.ld(gbin, idx));
+      });
+    }
+    const DeviceBinmat binom(config.binmat, &cbin, &sbin, &gbin);
+
+    SharedArray<real_t> scoords = blk.alloc_shared<real_t>(
+        static_cast<std::size_t>(bs) * d);
+    blk.all([&](ThreadCtx& th) {  // coalesced staging of coordinates
+      for (std::size_t idx = th.tid(); idx < block_points * d;
+           idx += blk.size())
+        scoords.write(th, idx, th.ld(gcoords, base_p * d + idx));
+    });
+
+    std::vector<real_t> acc(bs, 0);  // per-thread register accumulator
+    SharedArray<std::uint32_t> ls = blk.alloc_shared<std::uint32_t>(d);
+    // One barrier-delimited phase per level group; within it each thread
+    // walks the group's subspaces with the next iterator. The level vector
+    // is functionally per-thread here, but its accesses are billed as the
+    // shared (or per-thread shared-scratch) reads of the configured mode.
+    for (level_t j = 0; j < n; ++j) {
+      const std::uint64_t subspaces = grid.subspaces_in_group(j);
+      blk.all([&](ThreadCtx& th) {
+        if (th.tid() >= block_points) return;  // tail block divergence
+        LevelVector l = first_level(d, j);
+        flat_index_t index2 = goff_host[j];
+        for (std::uint64_t k = 0; k < subspaces; ++k) {
+          real_t prod = 1;
+          flat_index_t index1 = 0;
+          for (dim_t t = 0; t < d; ++t) {
+            (void)ls.read(th, t);  // billed l access; value tracked locally
+            const real_t x = scoords.read(
+                th, static_cast<std::size_t>(th.tid()) * d + t);
+            const index1d_t i = support_index_1d(l[t], x);
+            index1 = (index1 << l[t]) + ((i - 1) >> 1);
+            prod *= hat_basis_1d(l[t], i, x);
+            th.flop(6);  // locate cell + hat evaluation
+          }
+          if (prod != 0) {
+            const real_t coeff = th.ld(raw, index2 + index1);
+            acc[th.tid()] += prod * coeff;
+            th.flop(2);
+          }
+          th.flop(3);  // next(l) increment amortized cost
+          if (k + 1 < subspaces) advance_level(l);
+          index2 += grid.points_per_subspace(j);
+        }
+      });
+    }
+    blk.all([&](ThreadCtx& th) {  // coalesced result write-back
+      if (th.tid() < block_points)
+        th.st(gout, base_p + th.tid(), acc[th.tid()]);
+    });
+  });
+
+  if (report != nullptr) {
+    report->modeled_ms = launcher.total_modeled_ms();
+    report->mean_occupancy = launcher.mean_occupancy();
+    report->launches = launcher.launch_count();
+    report->counters = launcher.total_counters();
+  }
+  return gout.host();
+}
+
+}  // namespace csg::gpusim

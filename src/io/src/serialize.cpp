@@ -1,0 +1,285 @@
+#include "csg/io/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace csg::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'S', 'G', '1'};
+constexpr char kBoundaryMagic[4] = {'C', 'S', 'B', '1'};
+constexpr char kAdaptiveMagic[4] = {'C', 'S', 'A', '1'};
+constexpr char kTruncatedMagic[4] = {'C', 'S', 'G', 'T'};
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void save(const CompactStorage& storage, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, storage.grid().dim());
+  write_u32(out, storage.grid().level());
+  write_u64(out, storage.grid().num_points());
+  out.write(reinterpret_cast<const char*>(storage.data()),
+            static_cast<std::streamsize>(storage.values().size() *
+                                         sizeof(real_t)));
+  if (!out) throw std::runtime_error("csg::io::save: stream write failed");
+}
+
+CompactStorage load(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("csg::io::load: bad magic (not a CSG1 file)");
+  const std::uint32_t d = read_u32(in);
+  const std::uint32_t n = read_u32(in);
+  const std::uint64_t count = read_u64(in);
+  if (!in || d < 1 || d > kMaxDim || n < 1 || n > kMaxLevel)
+    throw std::runtime_error("csg::io::load: header out of range");
+  CompactStorage storage(static_cast<dim_t>(d), static_cast<level_t>(n));
+  if (storage.size() != count)
+    throw std::runtime_error(
+        "csg::io::load: point count does not match grid dimensions");
+  in.read(reinterpret_cast<char*>(storage.data()),
+          static_cast<std::streamsize>(count * sizeof(real_t)));
+  if (!in || static_cast<std::uint64_t>(in.gcount()) !=
+                 count * sizeof(real_t))
+    throw std::runtime_error("csg::io::load: truncated coefficient payload");
+  return storage;
+}
+
+void save_file(const CompactStorage& storage, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error("csg::io::save_file: cannot open " + path);
+  save(storage, out);
+}
+
+CompactStorage load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("csg::io::load_file: cannot open " + path);
+  return load(in);
+}
+
+std::size_t serialized_bytes(const CompactStorage& storage) {
+  return sizeof(kMagic) + 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+         storage.values().size() * sizeof(real_t);
+}
+
+void save(const TruncatedStorage& storage, std::ostream& out) {
+  out.write(kTruncatedMagic, sizeof(kTruncatedMagic));
+  write_u32(out, storage.grid().dim());
+  write_u32(out, storage.grid().level());
+  write_u64(out, storage.kept_count());
+  const real_t bound = storage.error_bound();
+  out.write(reinterpret_cast<const char*>(&bound), sizeof(bound));
+  out.write(reinterpret_cast<const char*>(storage.indices().data()),
+            static_cast<std::streamsize>(storage.indices().size() *
+                                         sizeof(flat_index_t)));
+  out.write(reinterpret_cast<const char*>(storage.values().data()),
+            static_cast<std::streamsize>(storage.values().size() *
+                                         sizeof(real_t)));
+  if (!out)
+    throw std::runtime_error("csg::io::save(truncated): stream write failed");
+}
+
+TruncatedStorage load_truncated(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kTruncatedMagic, sizeof(kTruncatedMagic)) != 0)
+    throw std::runtime_error(
+        "csg::io::load_truncated: bad magic (not a CSGT file)");
+  const std::uint32_t d = read_u32(in);
+  const std::uint32_t n = read_u32(in);
+  const std::uint64_t kept = read_u64(in);
+  real_t bound = 0;
+  in.read(reinterpret_cast<char*>(&bound), sizeof(bound));
+  if (!in || d < 1 || d > kMaxDim || n < 1 || n > kMaxLevel || bound < 0)
+    throw std::runtime_error("csg::io::load_truncated: header out of range");
+  RegularSparseGrid grid(static_cast<dim_t>(d), static_cast<level_t>(n));
+  if (kept > grid.num_points())
+    throw std::runtime_error(
+        "csg::io::load_truncated: more survivors than grid points");
+  std::vector<flat_index_t> indices(static_cast<std::size_t>(kept));
+  std::vector<real_t> values(static_cast<std::size_t>(kept));
+  in.read(reinterpret_cast<char*>(indices.data()),
+          static_cast<std::streamsize>(kept * sizeof(flat_index_t)));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(kept * sizeof(real_t)));
+  if (!in)
+    throw std::runtime_error("csg::io::load_truncated: truncated payload");
+  for (std::size_t k = 0; k < indices.size(); ++k)
+    if (indices[k] >= grid.num_points() ||
+        (k > 0 && indices[k - 1] >= indices[k]))
+      throw std::runtime_error(
+          "csg::io::load_truncated: corrupt index stream");
+  return TruncatedStorage(std::move(grid), std::move(indices),
+                          std::move(values), bound);
+}
+
+void save_file(const TruncatedStorage& storage, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error("csg::io::save_file: cannot open " + path);
+  save(storage, out);
+}
+
+TruncatedStorage load_truncated_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("csg::io::load_truncated_file: cannot open " +
+                             path);
+  return load_truncated(in);
+}
+
+void save(const BoundaryStorage& storage, std::ostream& out) {
+  out.write(kBoundaryMagic, sizeof(kBoundaryMagic));
+  write_u32(out, storage.grid().dim());
+  write_u32(out, storage.grid().level());
+  write_u64(out, storage.grid().num_points());
+  out.write(reinterpret_cast<const char*>(storage.values().data()),
+            static_cast<std::streamsize>(storage.values().size() *
+                                         sizeof(real_t)));
+  if (!out)
+    throw std::runtime_error("csg::io::save(boundary): stream write failed");
+}
+
+BoundaryStorage load_boundary(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBoundaryMagic, sizeof(kBoundaryMagic)) != 0)
+    throw std::runtime_error(
+        "csg::io::load_boundary: bad magic (not a CSB1 file)");
+  const std::uint32_t d = read_u32(in);
+  const std::uint32_t n = read_u32(in);
+  const std::uint64_t count = read_u64(in);
+  if (!in || d < 1 || d > kMaxDim || n < 1 || n > kMaxLevel)
+    throw std::runtime_error("csg::io::load_boundary: header out of range");
+  BoundaryStorage storage(static_cast<dim_t>(d), static_cast<level_t>(n));
+  if (storage.size() != count)
+    throw std::runtime_error(
+        "csg::io::load_boundary: point count does not match grid shape");
+  for (flat_index_t j = 0; j < storage.size(); ++j) {
+    real_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    storage[j] = v;
+  }
+  if (!in)
+    throw std::runtime_error("csg::io::load_boundary: truncated payload");
+  return storage;
+}
+
+void save_file(const BoundaryStorage& storage, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error("csg::io::save_file: cannot open " + path);
+  save(storage, out);
+}
+
+BoundaryStorage load_boundary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("csg::io::load_boundary_file: cannot open " +
+                             path);
+  return load_boundary(in);
+}
+
+void save(const adaptive::AdaptiveSparseGrid& grid, std::ostream& out) {
+  out.write(kAdaptiveMagic, sizeof(kAdaptiveMagic));
+  write_u32(out, grid.dim());
+  write_u32(out, 0);  // reserved
+  write_u64(out, grid.num_points());
+  grid.for_each_node([&](const adaptive::AdaptiveSparseGrid::Node& node) {
+    for (dim_t t = 0; t < grid.dim(); ++t) {
+      write_u32(out, node.point.level[t]);
+      write_u64(out, node.point.index[t]);
+    }
+    out.write(reinterpret_cast<const char*>(&node.nodal), sizeof(real_t));
+    out.write(reinterpret_cast<const char*>(&node.surplus), sizeof(real_t));
+  });
+  if (!out)
+    throw std::runtime_error("csg::io::save(adaptive): stream write failed");
+}
+
+adaptive::AdaptiveSparseGrid load_adaptive(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kAdaptiveMagic, sizeof(kAdaptiveMagic)) != 0)
+    throw std::runtime_error(
+        "csg::io::load_adaptive: bad magic (not a CSA1 file)");
+  const std::uint32_t d = read_u32(in);
+  (void)read_u32(in);  // reserved
+  const std::uint64_t count = read_u64(in);
+  if (!in || d < 1 || d > kMaxDim)
+    throw std::runtime_error("csg::io::load_adaptive: header out of range");
+  adaptive::AdaptiveSparseGrid grid(static_cast<dim_t>(d));
+  struct Record {
+    GridPoint point;
+    real_t nodal;
+    real_t surplus;
+  };
+  std::vector<Record> records;
+  records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t k = 0; k < count; ++k) {
+    Record rec;
+    rec.point.level.resize(static_cast<dim_t>(d));
+    rec.point.index.resize(static_cast<dim_t>(d));
+    for (dim_t t = 0; t < static_cast<dim_t>(d); ++t) {
+      rec.point.level[t] = read_u32(in);
+      rec.point.index[t] = read_u64(in);
+    }
+    in.read(reinterpret_cast<char*>(&rec.nodal), sizeof(real_t));
+    in.read(reinterpret_cast<char*>(&rec.surplus), sizeof(real_t));
+    if (!in)
+      throw std::runtime_error("csg::io::load_adaptive: truncated payload");
+    if (!valid_point(rec.point))
+      throw std::runtime_error("csg::io::load_adaptive: invalid grid point");
+    records.push_back(rec);
+  }
+  // Insert all points first (a saved grid is closed, so this adds no
+  // extras), then restore the stored values.
+  for (const Record& rec : records) grid.insert(rec.point);
+  if (grid.num_points() != count)
+    throw std::runtime_error(
+        "csg::io::load_adaptive: point set was not closed under parents");
+  for (const Record& rec : records)
+    grid.set_node(rec.point, rec.nodal, rec.surplus);
+  return grid;
+}
+
+void save_file(const adaptive::AdaptiveSparseGrid& grid,
+               const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    throw std::runtime_error("csg::io::save_file: cannot open " + path);
+  save(grid, out);
+}
+
+adaptive::AdaptiveSparseGrid load_adaptive_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("csg::io::load_adaptive_file: cannot open " +
+                             path);
+  return load_adaptive(in);
+}
+
+}  // namespace csg::io

@@ -1,0 +1,134 @@
+// A set-associative LRU cache hierarchy simulator.
+//
+// This container has one job in the reproduction: measure the *locality* of
+// each data structure's access stream — the "Non-seq. Refs." column of
+// Table 1 and the per-structure miss rates that explain why tree/hash
+// storages saturate the memory connection in Fig. 11a while the compact
+// 1d array does not. The environment has a single core, so the multicore
+// scalability figures are driven by these measured miss rates through the
+// bandwidth model in scaling.hpp (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "csg/core/types.hpp"
+
+namespace csg::memsim {
+
+struct CacheConfig {
+  std::size_t size_bytes;
+  std::size_t line_bytes;
+  std::size_t associativity;
+};
+
+/// One set-associative cache level with true-LRU replacement.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config)
+      : line_bytes_(config.line_bytes),
+        num_sets_(config.size_bytes / (config.line_bytes *
+                                       config.associativity)),
+        ways_(config.associativity),
+        tags_(num_sets_ * ways_, kInvalid),
+        ages_(num_sets_ * ways_, 0) {
+    CSG_EXPECTS(config.line_bytes >= 8 &&
+                (config.line_bytes & (config.line_bytes - 1)) == 0);
+    CSG_EXPECTS(num_sets_ >= 1);
+  }
+
+  /// Access one byte address; returns true on hit. Misses install the line.
+  bool access(std::uint64_t addr) {
+    ++accesses_;
+    const std::uint64_t line = addr / line_bytes_;
+    const std::size_t set = static_cast<std::size_t>(line) % num_sets_;
+    std::uint64_t* tag = &tags_[set * ways_];
+    std::uint64_t* age = &ages_[set * ways_];
+    ++clock_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+      if (tag[w] == line) {
+        age[w] = clock_;
+        return true;
+      }
+    }
+    ++misses_;
+    std::size_t victim = 0;
+    for (std::size_t w = 1; w < ways_; ++w)
+      if (age[w] < age[victim]) victim = w;
+    tag[victim] = line;
+    age[victim] = clock_;
+    return false;
+  }
+
+  void flush() {
+    std::fill(tags_.begin(), tags_.end(), kInvalid);
+    std::fill(ages_.begin(), ages_.end(), std::uint64_t{0});
+  }
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t line_bytes() const { return line_bytes_; }
+
+  void reset_counters() { accesses_ = misses_ = 0; }
+
+ private:
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+  std::size_t line_bytes_;
+  std::size_t num_sets_;
+  std::size_t ways_;
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> ages_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+/// Two-level inclusive-enough hierarchy: L2 is only consulted on L1 misses.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2)
+      : l1_(l1), l2_(l2) {}
+
+  /// A Nehalem-class core's private L1d + shared-slice L2/L3 stand-in.
+  static CacheHierarchy nehalem_core() {
+    return CacheHierarchy({32 * 1024, 64, 8}, {2 * 1024 * 1024, 64, 16});
+  }
+
+  /// The Opteron 8356 (Barcelona) per-core view: 64 KB L1d, 512 KB L2.
+  static CacheHierarchy barcelona_core() {
+    return CacheHierarchy({64 * 1024, 64, 2}, {512 * 1024, 64, 16});
+  }
+
+  void touch(std::uint64_t addr, std::size_t bytes = 8) {
+    // Access every line the object overlaps (objects are small; this is
+    // almost always a single line).
+    const std::uint64_t first = addr / l1_.line_bytes();
+    const std::uint64_t last = (addr + bytes - 1) / l1_.line_bytes();
+    for (std::uint64_t line = first; line <= last; ++line) {
+      const std::uint64_t a = line * l1_.line_bytes();
+      if (!l1_.access(a)) l2_.access(a);
+    }
+  }
+
+  const Cache& l1() const { return l1_; }
+  const Cache& l2() const { return l2_; }
+
+  /// References that left the cache hierarchy (DRAM transfers).
+  std::uint64_t memory_accesses() const { return l2_.misses(); }
+
+  void reset_counters() {
+    l1_.reset_counters();
+    l2_.reset_counters();
+  }
+  void flush() {
+    l1_.flush();
+    l2_.flush();
+  }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+};
+
+}  // namespace csg::memsim

@@ -1,0 +1,238 @@
+// Self-built node-based containers whose every pointer hop is visible.
+//
+// The STL baselines of src/baselines are faithful to the paper, but their
+// internal node traversals cannot be observed from outside, so they cannot
+// feed the cache simulator with exact address streams. These replicas can:
+// an AVL tree (stand-in for the rb-tree inside std::map — same O(log N)
+// pointer-chasing shape, height within a constant of red-black) and a
+// chained hash table (the std::unordered_map shape), both storing nodes in
+// an arena so addresses are deterministic, with a Touch callback invoked
+// for every node the traversal visits.
+//
+// Only the operations the sparse grid workloads need exist: insert-or-
+// assign and find. Grids are fully populated during sampling and never
+// erase points (regular, non-adaptive grids — the paper's setting).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "csg/core/types.hpp"
+
+namespace csg::memsim {
+
+/// AVL map over an arena. K must be less-than comparable. Touch is invoked
+/// as touch(address, bytes) for every node inspected.
+template <typename K, typename V>
+class TracedAvlMap {
+ public:
+  explicit TracedAvlMap(std::size_t expected_size = 0) {
+    nodes_.reserve(expected_size);
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Bytes of node storage (the Fig. 8-style footprint of this container).
+  std::size_t memory_bytes() const { return nodes_.capacity() * sizeof(Node); }
+
+  template <typename Touch>
+  void insert_or_assign(const K& key, const V& value, Touch&& touch) {
+    root_ = insert_rec(root_, key, value, touch);
+  }
+
+  /// Returns nullptr if absent. The returned pointer is invalidated by the
+  /// next insert (arena growth).
+  template <typename Touch>
+  const V* find(const K& key, Touch&& touch) const {
+    std::uint32_t idx = root_;
+    while (idx != kNull) {
+      const Node& n = nodes_[idx];
+      touch(address_of(idx), sizeof(Node));
+      if (key < n.key)
+        idx = n.left;
+      else if (n.key < key)
+        idx = n.right;
+      else
+        return &n.value;
+    }
+    return nullptr;
+  }
+
+  /// Height of the tree (for tests: must stay O(log N)).
+  int height() const { return height_of(root_); }
+
+ private:
+  static constexpr std::uint32_t kNull = ~std::uint32_t{0};
+
+  struct Node {
+    K key;
+    V value;
+    std::uint32_t left = kNull;
+    std::uint32_t right = kNull;
+    std::int32_t height = 1;
+  };
+
+  std::uint64_t address_of(std::uint32_t idx) const {
+    return reinterpret_cast<std::uint64_t>(nodes_.data() + idx);
+  }
+
+  int height_of(std::uint32_t idx) const {
+    return idx == kNull ? 0 : nodes_[idx].height;
+  }
+
+  void update_height(std::uint32_t idx) {
+    nodes_[idx].height =
+        1 + std::max(height_of(nodes_[idx].left), height_of(nodes_[idx].right));
+  }
+
+  int balance_of(std::uint32_t idx) const {
+    return height_of(nodes_[idx].left) - height_of(nodes_[idx].right);
+  }
+
+  std::uint32_t rotate_right(std::uint32_t y) {
+    const std::uint32_t x = nodes_[y].left;
+    nodes_[y].left = nodes_[x].right;
+    nodes_[x].right = y;
+    update_height(y);
+    update_height(x);
+    return x;
+  }
+
+  std::uint32_t rotate_left(std::uint32_t x) {
+    const std::uint32_t y = nodes_[x].right;
+    nodes_[x].right = nodes_[y].left;
+    nodes_[y].left = x;
+    update_height(x);
+    update_height(y);
+    return y;
+  }
+
+  std::uint32_t rebalance(std::uint32_t idx) {
+    update_height(idx);
+    const int b = balance_of(idx);
+    if (b > 1) {
+      if (balance_of(nodes_[idx].left) < 0)
+        nodes_[idx].left = rotate_left(nodes_[idx].left);
+      return rotate_right(idx);
+    }
+    if (b < -1) {
+      if (balance_of(nodes_[idx].right) > 0)
+        nodes_[idx].right = rotate_right(nodes_[idx].right);
+      return rotate_left(idx);
+    }
+    return idx;
+  }
+
+  template <typename Touch>
+  std::uint32_t insert_rec(std::uint32_t idx, const K& key, const V& value,
+                           Touch& touch) {
+    if (idx == kNull) {
+      nodes_.push_back(Node{key, value, kNull, kNull, 1});
+      const auto fresh = static_cast<std::uint32_t>(nodes_.size() - 1);
+      touch(address_of(fresh), sizeof(Node));
+      return fresh;
+    }
+    touch(address_of(idx), sizeof(Node));
+    if (key < nodes_[idx].key) {
+      const std::uint32_t child = insert_rec(nodes_[idx].left, key, value,
+                                             touch);
+      nodes_[idx].left = child;
+    } else if (nodes_[idx].key < key) {
+      const std::uint32_t child = insert_rec(nodes_[idx].right, key, value,
+                                             touch);
+      nodes_[idx].right = child;
+    } else {
+      nodes_[idx].value = value;
+      return idx;
+    }
+    return rebalance(idx);
+  }
+
+  std::vector<Node> nodes_;
+  std::uint32_t root_ = kNull;
+};
+
+/// Chained hash map over arenas (bucket array + node arena).
+template <typename K, typename V, typename Hash = std::hash<K>>
+class TracedHashMap {
+ public:
+  explicit TracedHashMap(std::size_t expected_size) {
+    std::size_t buckets = 16;
+    while (buckets < expected_size) buckets <<= 1;  // load factor <= 1
+    buckets_.assign(buckets, kNull);
+    nodes_.reserve(expected_size);
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+
+  std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           buckets_.capacity() * sizeof(std::uint32_t);
+  }
+
+  template <typename Touch>
+  void insert_or_assign(const K& key, const V& value, Touch&& touch) {
+    const std::size_t b = bucket_of(key);
+    touch(bucket_address(b), sizeof(std::uint32_t));
+    for (std::uint32_t idx = buckets_[b]; idx != kNull;
+         idx = nodes_[idx].next) {
+      touch(node_address(idx), sizeof(Node));
+      if (nodes_[idx].key == key) {
+        nodes_[idx].value = value;
+        return;
+      }
+    }
+    nodes_.push_back(Node{key, value, buckets_[b]});
+    buckets_[b] = static_cast<std::uint32_t>(nodes_.size() - 1);
+    touch(node_address(buckets_[b]), sizeof(Node));
+  }
+
+  template <typename Touch>
+  const V* find(const K& key, Touch&& touch) const {
+    const std::size_t b = bucket_of(key);
+    touch(bucket_address(b), sizeof(std::uint32_t));
+    for (std::uint32_t idx = buckets_[b]; idx != kNull;
+         idx = nodes_[idx].next) {
+      touch(node_address(idx), sizeof(Node));
+      if (nodes_[idx].key == key) return &nodes_[idx].value;
+    }
+    return nullptr;
+  }
+
+  /// Longest chain (for tests: should stay O(1) expected).
+  std::size_t max_chain() const {
+    std::size_t longest = 0;
+    for (std::uint32_t head : buckets_) {
+      std::size_t len = 0;
+      for (std::uint32_t idx = head; idx != kNull; idx = nodes_[idx].next)
+        ++len;
+      longest = std::max(longest, len);
+    }
+    return longest;
+  }
+
+ private:
+  static constexpr std::uint32_t kNull = ~std::uint32_t{0};
+
+  struct Node {
+    K key;
+    V value;
+    std::uint32_t next;
+  };
+
+  std::size_t bucket_of(const K& key) const {
+    return Hash{}(key) & (buckets_.size() - 1);
+  }
+  std::uint64_t bucket_address(std::size_t b) const {
+    return reinterpret_cast<std::uint64_t>(buckets_.data() + b);
+  }
+  std::uint64_t node_address(std::uint32_t idx) const {
+    return reinterpret_cast<std::uint64_t>(nodes_.data() + idx);
+  }
+
+  std::vector<std::uint32_t> buckets_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace csg::memsim

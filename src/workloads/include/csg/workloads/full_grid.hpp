@@ -1,0 +1,98 @@
+// A plain full (tensor-product) grid: the uncompressed representation the
+// sparse grid technique compresses away. Used by the examples to stand in
+// for simulation output and by tests/benchmarks to quantify the compression
+// ratio N_full / N_sparse. Only feasible for small d, which is the curse of
+// dimensionality the paper's introduction motivates.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "csg/core/grid_point.hpp"
+#include "csg/core/types.hpp"
+
+namespace csg::workloads {
+
+class FullGrid {
+ public:
+  /// Interior full grid of level n (0-based levels like the sparse grid):
+  /// 2^n - 1 points per dimension at coordinates k / 2^n, zero boundary.
+  FullGrid(dim_t d, level_t n) : d_(d), n_(n) {
+    CSG_EXPECTS(d >= 1 && d <= kMaxDim);
+    CSG_EXPECTS(n >= 1 && n <= 26 && "full grid would not fit in memory");
+    points_per_dim_ = (std::size_t{1} << n) - 1;
+    unsigned __int128 total = 1;
+    for (dim_t t = 0; t < d; ++t) {
+      total *= points_per_dim_;
+      CSG_EXPECTS(total < (unsigned __int128){1} << 40 &&
+                  "full grid too large; use fewer dimensions or levels");
+    }
+    values_.assign(static_cast<std::size_t>(total), real_t{0});
+  }
+
+  dim_t dim() const { return d_; }
+  level_t level() const { return n_; }
+  std::size_t points_per_dim() const { return points_per_dim_; }
+  std::size_t num_points() const { return values_.size(); }
+
+  /// Row-major flat index of the multi-index k (1-based per dimension,
+  /// k_t in [1, 2^n - 1]).
+  std::size_t flat(const DimVector<std::size_t>& k) const {
+    std::size_t idx = 0;
+    for (dim_t t = 0; t < d_; ++t) {
+      CSG_ASSERT(k[t] >= 1 && k[t] <= points_per_dim_);
+      idx = idx * points_per_dim_ + (k[t] - 1);
+    }
+    return idx;
+  }
+
+  real_t& at(const DimVector<std::size_t>& k) { return values_[flat(k)]; }
+  real_t at(const DimVector<std::size_t>& k) const { return values_[flat(k)]; }
+
+  CoordVector coordinates(const DimVector<std::size_t>& k) const {
+    CoordVector x(d_);
+    for (dim_t t = 0; t < d_; ++t)
+      x[t] = static_cast<real_t>(k[t]) / static_cast<real_t>(std::size_t{1} << n_);
+    return x;
+  }
+
+  /// Fill with f at every grid point.
+  void sample(const std::function<real_t(const CoordVector&)>& f) {
+    DimVector<std::size_t> k(d_, 1);
+    for (std::size_t flat_idx = 0;; ++flat_idx) {
+      values_[flat_idx] = f(coordinates(k));
+      dim_t t = d_;
+      while (t-- > 0) {
+        if (++k[t] <= points_per_dim_) break;
+        k[t] = 1;
+        if (t == 0) return;
+      }
+    }
+  }
+
+  /// Value at the full-grid point coinciding with the sparse grid point gp
+  /// (every sparse grid point of level <= n lies on the full grid). This is
+  /// the "select only the function values at grid points also contained in a
+  /// sparse grid" step of Sec. 3.
+  real_t value_at_sparse_point(const GridPoint& gp) const {
+    DimVector<std::size_t> k(d_);
+    for (dim_t t = 0; t < d_; ++t) {
+      const level_t l = gp.level[t];
+      CSG_EXPECTS(l + 1 <= n_);
+      k[t] = static_cast<std::size_t>(gp.index[t]) << (n_ - (l + 1));
+    }
+    return at(k);
+  }
+
+  std::size_t memory_bytes() const { return values_.capacity() * sizeof(real_t); }
+
+  const std::vector<real_t>& values() const { return values_; }
+
+ private:
+  dim_t d_;
+  level_t n_;
+  std::size_t points_per_dim_;
+  std::vector<real_t> values_;
+};
+
+}  // namespace csg::workloads

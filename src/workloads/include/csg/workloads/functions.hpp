@@ -1,0 +1,137 @@
+// Test function suite: the d-dimensional functions that drive every
+// experiment. Each function knows whether it vanishes on the domain
+// boundary (required by the zero-boundary grids of the paper) and whether a
+// sparse grid interpolant can represent it exactly.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "csg/core/dim_vector.hpp"
+#include "csg/core/types.hpp"
+
+namespace csg::workloads {
+
+struct TestFunction {
+  std::string name;
+  std::string description;
+  bool zero_boundary;        // f == 0 on the boundary of [0,1]^d
+  bool piecewise_dlinear;    // exactly representable on a fine enough grid
+  std::function<real_t(const CoordVector&)> f;
+
+  real_t operator()(const CoordVector& x) const { return f(x); }
+};
+
+/// Product of 1d parabolas 4 x (1 - x): smooth, separable, zero-boundary —
+/// the classic sparse grid convergence test.
+inline TestFunction parabola_product(dim_t d) {
+  return {"parabola_product",
+          "prod_t 4 x_t (1 - x_t), smooth separable zero-boundary",
+          /*zero_boundary=*/true, /*piecewise_dlinear=*/false,
+          [d](const CoordVector& x) {
+            CSG_EXPECTS(x.size() == d);
+            real_t p = 1;
+            for (dim_t t = 0; t < d; ++t) p *= 4 * x[t] * (1 - x[t]);
+            return p;
+          }};
+}
+
+/// Anisotropic Gaussian bump centred in the domain, windowed by the
+/// parabola product so that it is exactly zero on the boundary.
+inline TestFunction gaussian_bump(dim_t d) {
+  return {"gaussian_bump",
+          "windowed exp(-sum_t (t+1) (x_t - 0.5)^2), zero-boundary",
+          true, false, [d](const CoordVector& x) {
+            CSG_EXPECTS(x.size() == d);
+            real_t e = 0, w = 1;
+            for (dim_t t = 0; t < d; ++t) {
+              const real_t c = x[t] - real_t{0.5};
+              e += static_cast<real_t>(t + 1) * c * c;
+              w *= 4 * x[t] * (1 - x[t]);
+            }
+            return w * std::exp(-4 * e);
+          }};
+}
+
+/// Oscillatory function sin(pi x_t) product with a frequency ramp; smooth,
+/// zero-boundary, non-separable via the phase coupling term.
+inline TestFunction oscillatory(dim_t d) {
+  return {"oscillatory",
+          "prod_t sin(pi (t+1)/d x_t) * sin(pi x_t), zero-boundary",
+          true, false, [d](const CoordVector& x) {
+            CSG_EXPECTS(x.size() == d);
+            real_t p = 1, phase = 0;
+            for (dim_t t = 0; t < d; ++t) {
+              p *= std::sin(M_PI * x[t]);
+              phase += x[t];
+            }
+            return p * std::cos(M_PI * phase / d);
+          }};
+}
+
+/// A function that is itself a d-linear hat interpolant on a coarse grid:
+/// exactly representable by any sparse grid of level >= 3, so interpolation
+/// must be exact (used as a correctness oracle).
+inline TestFunction coarse_dlinear(dim_t d) {
+  return {"coarse_dlinear",
+          "prod_t hat_{1,1}(x_t) + 0.5 prod_t hat_{0,1}(x_t), exactly "
+          "representable at level >= 2",
+          true, true, [d](const CoordVector& x) {
+            CSG_EXPECTS(x.size() == d);
+            auto hat = [](real_t h_inv, real_t center, real_t x_) {
+              const real_t v = 1 - std::abs((x_ - center) * h_inv);
+              return v > 0 ? v : real_t{0};
+            };
+            real_t a = 1, b = 1;
+            for (dim_t t = 0; t < d; ++t) {
+              a *= hat(4, real_t{0.25}, x[t]);  // level 1 (0-based), i = 1
+              b *= hat(2, real_t{0.5}, x[t]);   // level 0, i = 1
+            }
+            return a + real_t{0.5} * b;
+          }};
+}
+
+/// Non-zero-boundary polynomial, for the Sec. 4.4 boundary extension:
+/// 1 + sum_t (t+1) x_t^2.
+inline TestFunction boundary_polynomial(dim_t d) {
+  return {"boundary_polynomial", "1 + sum_t (t+1) x_t^2, non-zero boundary",
+          false, false, [d](const CoordVector& x) {
+            CSG_EXPECTS(x.size() == d);
+            real_t s = 1;
+            for (dim_t t = 0; t < d; ++t)
+              s += static_cast<real_t>(t + 1) * x[t] * x[t];
+            return s;
+          }};
+}
+
+/// A synthetic stand-in for the paper's multi-physics simulation output
+/// (Fig. 1): a superposition of localized features — two off-center bumps
+/// and a ridge — windowed to zero-boundary. Not separable, moderately rough.
+inline TestFunction simulation_field(dim_t d) {
+  return {"simulation_field",
+          "synthetic multi-feature field (two bumps + ridge), zero-boundary",
+          true, false, [d](const CoordVector& x) {
+            CSG_EXPECTS(x.size() == d);
+            real_t w = 1, r2a = 0, r2b = 0, ridge = 0;
+            for (dim_t t = 0; t < d; ++t) {
+              w *= 4 * x[t] * (1 - x[t]);
+              const real_t ca = x[t] - real_t{0.3};
+              const real_t cb = x[t] - real_t{0.7};
+              r2a += ca * ca;
+              r2b += cb * cb;
+              ridge += (t % 2 ? x[t] : -x[t]);
+            }
+            return w * (std::exp(-8 * r2a) + real_t{0.6} * std::exp(-12 * r2b) +
+                        real_t{0.2} * std::sin(3 * ridge));
+          }};
+}
+
+/// All zero-boundary functions, for parameterized sweeps.
+inline std::vector<TestFunction> zero_boundary_suite(dim_t d) {
+  return {parabola_product(d), gaussian_bump(d), oscillatory(d),
+          coarse_dlinear(d), simulation_field(d)};
+}
+
+}  // namespace csg::workloads

@@ -1,0 +1,74 @@
+// Evaluation point generators. The paper's decompression workload is ~1e5
+// arbitrary interpolation points (Sec. 5.3); visualization additionally
+// needs axis-aligned slices (Fig. 1). All generators are deterministic
+// given their seed, so benchmark runs are reproducible.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "csg/core/dim_vector.hpp"
+#include "csg/core/types.hpp"
+
+namespace csg::workloads {
+
+/// `count` i.i.d. uniform points in [0,1]^d.
+inline std::vector<CoordVector> uniform_points(dim_t d, std::size_t count,
+                                               std::uint64_t seed) {
+  CSG_EXPECTS(d >= 1 && d <= kMaxDim);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<real_t> dist(0, 1);
+  std::vector<CoordVector> pts(count, CoordVector(d));
+  for (auto& p : pts)
+    for (dim_t t = 0; t < d; ++t) p[t] = dist(rng);
+  return pts;
+}
+
+/// `count` points of the d-dimensional Halton sequence (prime bases): a
+/// low-discrepancy set that exercises every region of the domain, as a
+/// browsing user of the visualization pipeline would.
+inline std::vector<CoordVector> halton_points(dim_t d, std::size_t count,
+                                              std::size_t skip = 20) {
+  CSG_EXPECTS(d >= 1 && d <= kMaxDim);
+  static constexpr unsigned kPrimes[kMaxDim] = {2,  3,  5,  7,  11, 13, 17, 19,
+                                                23, 29, 31, 37, 41, 43, 47, 53};
+  auto radical_inverse = [](unsigned base, std::size_t n) {
+    real_t inv = 1 / static_cast<real_t>(base), f = inv, v = 0;
+    while (n) {
+      v += f * static_cast<real_t>(n % base);
+      n /= base;
+      f *= inv;
+    }
+    return v;
+  };
+  std::vector<CoordVector> pts(count, CoordVector(d));
+  for (std::size_t k = 0; k < count; ++k)
+    for (dim_t t = 0; t < d; ++t)
+      pts[k][t] = radical_inverse(kPrimes[t], k + skip + 1);
+  return pts;
+}
+
+/// A raster of `width x height` points spanning dimensions (dim_x, dim_y) of
+/// the domain while all other coordinates are pinned to `anchor` — the
+/// axis-aligned 2d slice a visualization front-end requests per frame.
+inline std::vector<CoordVector> slice_points(const CoordVector& anchor,
+                                             dim_t dim_x, dim_t dim_y,
+                                             std::size_t width,
+                                             std::size_t height) {
+  CSG_EXPECTS(dim_x < anchor.size() && dim_y < anchor.size());
+  CSG_EXPECTS(dim_x != dim_y);
+  CSG_EXPECTS(width >= 2 && height >= 2);
+  std::vector<CoordVector> pts;
+  pts.reserve(width * height);
+  for (std::size_t r = 0; r < height; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      CoordVector p = anchor;
+      p[dim_x] = static_cast<real_t>(c) / static_cast<real_t>(width - 1);
+      p[dim_y] = static_cast<real_t>(r) / static_cast<real_t>(height - 1);
+      pts.push_back(p);
+    }
+  }
+  return pts;
+}
+
+}  // namespace csg::workloads

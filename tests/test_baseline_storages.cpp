@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "csg/baselines/generic_algorithms.hpp"
+#include "csg/baselines/map_storages.hpp"
+#include "csg/baselines/prefix_tree_storage.hpp"
+#include "csg/core/compact_storage.hpp"
+
+namespace csg::baselines {
+namespace {
+
+static_assert(GridStorage<CompactStorage>);
+static_assert(GridStorage<StdMapStorage>);
+static_assert(GridStorage<EnhancedMapStorage>);
+static_assert(GridStorage<EnhancedHashStorage>);
+static_assert(GridStorage<PrefixTreeStorage>);
+
+template <typename S>
+class StorageTyped : public ::testing::Test {
+ public:
+  static S make(dim_t d, level_t n) { return S(d, n); }
+};
+
+using StorageTypes =
+    ::testing::Types<CompactStorage, StdMapStorage, EnhancedMapStorage,
+                     EnhancedHashStorage, PrefixTreeStorage>;
+TYPED_TEST_SUITE(StorageTyped, StorageTypes);
+
+TYPED_TEST(StorageTyped, SetThenGetRoundTripsEveryPoint) {
+  auto s = TestFixture::make(3, 4);
+  real_t v = 1.0;
+  for_each_point(s.grid(), [&](const LevelVector& l, const IndexVector& i) {
+    s.set(l, i, v);
+    v += 0.5;
+  });
+  v = 1.0;
+  for_each_point(s.grid(), [&](const LevelVector& l, const IndexVector& i) {
+    EXPECT_EQ(s.get(l, i), v);
+    v += 0.5;
+  });
+}
+
+TYPED_TEST(StorageTyped, OverwriteReplacesValue) {
+  auto s = TestFixture::make(2, 3);
+  const LevelVector l{1, 1};
+  const IndexVector i{3, 1};
+  s.set(l, i, 1.0);
+  s.set(l, i, -2.0);
+  EXPECT_EQ(s.get(l, i), -2.0);
+}
+
+TYPED_TEST(StorageTyped, MemoryBytesIsPositiveOncePopulated) {
+  auto s = TestFixture::make(2, 4);
+  sample(s, [](const CoordVector& x) { return x[0]; });
+  EXPECT_GT(s.memory_bytes(), 0u);
+}
+
+TEST(BaselineStorages, NamesAreDistinct) {
+  const std::set<std::string> names = {
+      CompactStorage::name(), StdMapStorage::name(), EnhancedMapStorage::name(),
+      EnhancedHashStorage::name(), PrefixTreeStorage::name()};
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(BaselineStorages, CompactIsSmallestAtScale) {
+  // Fig. 8's ordering at a size where asymptotics dominate: the compact
+  // structure must undercut every baseline by a wide margin.
+  const dim_t d = 5;
+  const level_t n = 7;
+  CompactStorage compact(d, n);
+  StdMapStorage std_map(d, n);
+  EnhancedMapStorage enh_map(d, n);
+  EnhancedHashStorage enh_hash(d, n);
+  PrefixTreeStorage tree(d, n);
+  auto f = [](const CoordVector& x) { return x[0] + x[1]; };
+  sample(compact, f);
+  sample(std_map, f);
+  sample(enh_map, f);
+  sample(enh_hash, f);
+  sample(tree, f);
+  // All baselines pay at least 4x the compact footprint here.
+  EXPECT_GT(std_map.memory_bytes(), 4 * compact.memory_bytes());
+  EXPECT_GT(enh_map.memory_bytes(), 4 * compact.memory_bytes());
+  EXPECT_GT(enh_hash.memory_bytes(), 4 * compact.memory_bytes());
+  EXPECT_GT(tree.memory_bytes(), 4 * compact.memory_bytes());
+  // And the std::map with its O(d) heap keys is the largest map variant.
+  EXPECT_GT(std_map.memory_bytes(), enh_map.memory_bytes());
+}
+
+TEST(BaselineStorages, StdMapKeyBytesGrowWithDimension) {
+  auto bytes_for = [](dim_t d) {
+    StdMapStorage s(d, 3);
+    sample(s, [](const CoordVector&) { return 1.0; });
+    return static_cast<double>(s.memory_bytes()) / s.size();
+  };
+  EXPECT_GT(bytes_for(10), bytes_for(2));
+}
+
+TEST(BaselineStorages, MissingKeyReadsAsZeroForMapVariants) {
+  // Before sampling, map-based storages are empty: get() returns the
+  // zero-boundary default instead of inserting.
+  StdMapStorage a(2, 3);
+  EnhancedMapStorage b(2, 3);
+  EnhancedHashStorage c(2, 3);
+  const LevelVector l{1, 1};
+  const IndexVector i{1, 3};
+  EXPECT_EQ(a.get(l, i), 0.0);
+  EXPECT_EQ(b.get(l, i), 0.0);
+  EXPECT_EQ(c.get(l, i), 0.0);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(BaselineStorages, PrefixTreeSlotLayout) {
+  // Heap-ordered slots: level l occupies [2^l - 1, 2^{l+1} - 2].
+  EXPECT_EQ(PrefixTreeStorage::slot(0, 1), 0u);
+  EXPECT_EQ(PrefixTreeStorage::slot(1, 1), 1u);
+  EXPECT_EQ(PrefixTreeStorage::slot(1, 3), 2u);
+  EXPECT_EQ(PrefixTreeStorage::slot(2, 1), 3u);
+  EXPECT_EQ(PrefixTreeStorage::slot(2, 7), 6u);
+  EXPECT_EQ(PrefixTreeStorage::slot(3, 1), 7u);
+}
+
+TEST(BaselineStorages, PrefixTreeNodeCountMatchesPrefixCount) {
+  // One node per distinct (l,i)-prefix over the first d-1 dimensions, plus
+  // the root. For d=1 there is exactly the root holding all values.
+  PrefixTreeStorage flat(1, 5);
+  EXPECT_EQ(flat.node_count(), 1u);
+
+  // d=2, n=2: root + one node per 1d point with remaining budget:
+  // level 0: 1 point, level 1: 2 points -> 1 + 3 = 4 nodes.
+  PrefixTreeStorage two(2, 2);
+  EXPECT_EQ(two.node_count(), 4u);
+}
+
+TEST(BaselineStorages, PackedPointKeyOrdersPointsConsistently) {
+  const PackedPointKey a = pack_point_key({0, 1}, {1, 1});
+  const PackedPointKey b = pack_point_key({0, 1}, {1, 3});
+  const PackedPointKey c = pack_point_key({1, 1}, {1, 1});
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);  // level dominates index within a dimension
+  EXPECT_EQ(a, pack_point_key({0, 1}, {1, 1}));
+}
+
+TEST(BaselineStorages, MeteredAllocatorTracksNodeChurn) {
+  MemoryMeter meter;
+  {
+    std::vector<int, MeteredAllocator<int>> v{MeteredAllocator<int>(&meter)};
+    v.reserve(100);
+    EXPECT_GE(meter.current_bytes(), 100 * sizeof(int));
+    EXPECT_EQ(meter.allocation_count(), 1u);
+  }
+  EXPECT_EQ(meter.current_bytes(), 0u);      // freed on destruction
+  EXPECT_GE(meter.peak_bytes(), 100 * sizeof(int));
+}
+
+}  // namespace
+}  // namespace csg::baselines

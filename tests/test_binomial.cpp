@@ -1,0 +1,93 @@
+#include "csg/core/binomial_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csg {
+namespace {
+
+TEST(BinomialTable, SmallValues) {
+  BinomialTable b(10);
+  EXPECT_EQ(b(0, 0), 1u);
+  EXPECT_EQ(b(5, 0), 1u);
+  EXPECT_EQ(b(5, 5), 1u);
+  EXPECT_EQ(b(5, 2), 10u);
+  EXPECT_EQ(b(10, 5), 252u);
+}
+
+TEST(BinomialTable, AboveDiagonalIsZero) {
+  BinomialTable b(6);
+  EXPECT_EQ(b(3, 4), 0u);
+  EXPECT_EQ(b(0, 1), 0u);
+}
+
+TEST(BinomialTable, PascalIdentityHoldsEverywhere) {
+  const std::uint32_t max_row = 40;
+  BinomialTable b(max_row);
+  for (std::uint32_t a = 2; a <= max_row; ++a)
+    for (std::uint32_t k = 1; k < a; ++k)
+      EXPECT_EQ(b(a, k), b(a - 1, k - 1) + b(a - 1, k))
+          << "a=" << a << " k=" << k;
+}
+
+TEST(BinomialTable, SymmetryHoldsEverywhere) {
+  BinomialTable b(30);
+  for (std::uint32_t a = 0; a <= 30; ++a)
+    for (std::uint32_t k = 0; k <= a; ++k) EXPECT_EQ(b(a, k), b(a, a - k));
+}
+
+TEST(BinomialTable, MatchesOnTheFlyComputation) {
+  BinomialTable b(50);
+  for (std::uint32_t a = 0; a <= 50; ++a)
+    for (std::uint32_t k = 0; k <= a; ++k)
+      EXPECT_EQ(b(a, k), binomial_on_the_fly(a, k))
+          << "a=" << a << " k=" << k;
+}
+
+TEST(BinomialTable, PaperSubspaceCount) {
+  // S_n^d = C(d-1+n, d-1), Eq. 2: at d=10, n=10 the largest group of the
+  // paper's level-11 grid has C(19,9) = 92378 subspaces.
+  BinomialTable b(19);
+  EXPECT_EQ(b(19, 9), 92378u);
+}
+
+TEST(BinomialTable, DefaultConstructedHandlesRowZero) {
+  BinomialTable b;
+  EXPECT_EQ(b(0, 0), 1u);
+  EXPECT_EQ(b.max_row(), 0u);
+}
+
+TEST(BinomialTable, PayloadBytesMatchesTriangleSize) {
+  BinomialTable b(9);
+  // 10 rows -> 55 entries of 8 bytes.
+  EXPECT_EQ(b.payload_bytes(), 55u * 8u);
+}
+
+TEST(BinomialTable, FlatIndexAddressesTriangle) {
+  BinomialTable b(12);
+  const auto& flat = b.flat();
+  for (std::uint32_t a = 0; a <= 12; ++a)
+    for (std::uint32_t k = 0; k <= a; ++k)
+      EXPECT_EQ(flat[BinomialTable::flat_index(a, k)], b(a, k));
+}
+
+TEST(BinomialTable, LargeValuesStayExact) {
+  // C(56, 28) = 7648690600760440 fits in 53 bits; verify exactness near the
+  // upper end of what grids may request (d-1+n <= kMaxDim-1+kMaxLevel).
+  BinomialTable b(56);
+  EXPECT_EQ(b(56, 28), 7648690600760440ull);
+}
+
+TEST(BinomialOnTheFly, DegenerateCases) {
+  EXPECT_EQ(binomial_on_the_fly(0, 0), 1u);
+  EXPECT_EQ(binomial_on_the_fly(7, 0), 1u);
+  EXPECT_EQ(binomial_on_the_fly(7, 7), 1u);
+  EXPECT_EQ(binomial_on_the_fly(3, 9), 0u);
+}
+
+TEST(BinomialTableDeath, RowBeyondTableAborts) {
+  BinomialTable b(5);
+  EXPECT_DEATH(b(6, 2), "precondition");
+}
+
+}  // namespace
+}  // namespace csg

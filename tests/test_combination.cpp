@@ -1,0 +1,165 @@
+#include "csg/combination/combination_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg::combination {
+namespace {
+
+TEST(ComponentGrid, SizeAndCoordinates) {
+  ComponentGrid g(LevelVector{1, 2});
+  EXPECT_EQ(g.points_in_dim(0), 3u);
+  EXPECT_EQ(g.points_in_dim(1), 7u);
+  EXPECT_EQ(g.num_points(), 21u);
+  const CoordVector x = g.coordinates(DimVector<std::size_t>{1, 4});
+  EXPECT_DOUBLE_EQ(x[0], 0.25);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+}
+
+TEST(ComponentGrid, InterpolationIsExactAtGridPoints) {
+  ComponentGrid g(LevelVector{2, 1});
+  auto f = [](const CoordVector& x) { return x[0] * (1 - x[0]) + x[1]; };
+  g.sample(f);
+  DimVector<std::size_t> k(2, 1);
+  for (k[0] = 1; k[0] <= g.points_in_dim(0); ++k[0])
+    for (k[1] = 1; k[1] <= g.points_in_dim(1); ++k[1])
+      EXPECT_NEAR(g.interpolate(g.coordinates(k)), f(g.coordinates(k)),
+                  1e-14);
+}
+
+TEST(ComponentGrid, InterpolationExactForMultilinearFunctions) {
+  // A function linear per dimension that vanishes on the boundary is
+  // reproduced exactly (within the span of the multilinear basis).
+  ComponentGrid g(LevelVector{3, 2, 1});
+  auto f = [](const CoordVector& x) {
+    real_t p = 1;
+    for (dim_t t = 0; t < 3; ++t) p *= std::min(x[t], 1 - x[t]);
+    return p;
+  };
+  // min(x, 1-x) is piecewise linear with its kink at 0.5 — a grid point of
+  // every component level >= 0, so interpolation must be exact.
+  g.sample(f);
+  for (const CoordVector& x : workloads::halton_points(3, 200))
+    EXPECT_NEAR(g.interpolate(x), f(x), 1e-14);
+}
+
+TEST(ComponentGrid, ZeroOnBoundary) {
+  ComponentGrid g(LevelVector{2, 2});
+  g.sample([](const CoordVector&) { return 1.0; });
+  EXPECT_DOUBLE_EQ(g.interpolate(CoordVector{0.0, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(g.interpolate(CoordVector{0.5, 1.0}), 0.0);
+}
+
+TEST(CombinationGrid, ComponentCountsAndCoefficients) {
+  // d=2, n=3: diagonals |l|=2 (coeff +1) and |l|=1 (coeff -1):
+  // 3 + 2 = 5 component grids.
+  CombinationGrid combi(2, 3);
+  ASSERT_EQ(combi.components().size(), 5u);
+  int plus = 0, minus = 0;
+  for (const WeightedComponent& c : combi.components()) {
+    if (c.coefficient > 0) {
+      EXPECT_DOUBLE_EQ(c.coefficient, 1.0);
+      EXPECT_EQ(c.grid.level().l1_norm(), 2u);
+      ++plus;
+    } else {
+      EXPECT_DOUBLE_EQ(c.coefficient, -1.0);
+      EXPECT_EQ(c.grid.level().l1_norm(), 1u);
+      ++minus;
+    }
+  }
+  EXPECT_EQ(plus, 3);
+  EXPECT_EQ(minus, 2);
+}
+
+TEST(CombinationGrid, CoefficientsFollowInclusionExclusion) {
+  // d=4: coefficients (-1)^q C(3, q) = 1, -3, 3, -1 on the four diagonals.
+  CombinationGrid combi(4, 6);
+  for (const WeightedComponent& c : combi.components()) {
+    const auto q = static_cast<level_t>(5 - c.grid.level().l1_norm());
+    const double expected[] = {1, -3, 3, -1};
+    EXPECT_DOUBLE_EQ(c.coefficient, expected[q]);
+  }
+}
+
+struct Case {
+  dim_t d;
+  level_t n;
+};
+
+class CombinationSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CombinationSweep, CombinationEqualsDirectSparseGridInterpolant) {
+  // The classical identity: for interpolation the combination technique is
+  // exact — it reproduces the direct sparse grid interpolant everywhere.
+  // This cross-validates the combination, the compact structure, the
+  // hierarchization and the evaluation in one stroke.
+  const auto [d, n] = GetParam();
+  const auto f = workloads::simulation_field(d);
+  CombinationGrid combi(d, n);
+  combi.sample(f.f);
+  CompactStorage direct(d, n);
+  direct.sample(f.f);
+  hierarchize(direct);
+  for (const CoordVector& x : workloads::uniform_points(d, 200, 8)) {
+    EXPECT_NEAR(combi.evaluate(x), evaluate(direct, x), 1e-12);
+  }
+}
+
+TEST_P(CombinationSweep, ToCompactRoundTrip) {
+  const auto [d, n] = GetParam();
+  const auto f = workloads::gaussian_bump(d);
+  CombinationGrid combi(d, n);
+  combi.sample(f.f);
+  const CompactStorage compact = to_compact(combi);
+  for (const CoordVector& x : workloads::uniform_points(d, 100, 12))
+    EXPECT_NEAR(evaluate(compact, x), combi.evaluate(x), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CombinationSweep,
+    ::testing::Values(Case{1, 5}, Case{2, 2}, Case{2, 5}, Case{3, 2},
+                      Case{3, 4}, Case{4, 4}, Case{5, 5}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "d" + std::to_string(info.param.d) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(CombinationGrid, ReplicationOverheadVsCompact) {
+  // The Sec. 7 trade-off: the combination stores strictly more nodal
+  // values than the sparse grid has points.
+  const dim_t d = 4;
+  const level_t n = 6;
+  CombinationGrid combi(d, n);
+  EXPECT_GT(combi.total_points(), regular_grid_num_points(d, n));
+  EXPECT_GT(combi.memory_bytes(),
+            regular_grid_num_points(d, n) * sizeof(real_t));
+}
+
+TEST(CombinationGrid, ParallelSamplingAndEvaluationMatchSequential) {
+  const dim_t d = 3;
+  const auto f = workloads::oscillatory(d);
+  CombinationGrid seq(d, 4), par(d, 4);
+  seq.sample(f.f, 1);
+  par.sample(f.f, 4);
+  const auto pts = workloads::uniform_points(d, 100, 4);
+  const auto a = seq.evaluate_many(pts, 1);
+  const auto b = par.evaluate_many(pts, 4);
+  for (std::size_t p = 0; p < pts.size(); ++p) EXPECT_EQ(a[p], b[p]);
+}
+
+TEST(CombinationGrid, SingleDimensionDegeneratesToOneFullGrid) {
+  CombinationGrid combi(1, 6);
+  ASSERT_EQ(combi.components().size(), 1u);
+  EXPECT_DOUBLE_EQ(combi.components()[0].coefficient, 1.0);
+  EXPECT_EQ(combi.components()[0].grid.num_points(),
+            regular_grid_num_points(1, 6));
+}
+
+}  // namespace
+}  // namespace csg::combination

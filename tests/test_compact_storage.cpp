@@ -1,0 +1,68 @@
+#include "csg/core/compact_storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csg/core/grid_point.hpp"
+
+namespace csg {
+namespace {
+
+TEST(CompactStorage, ZeroInitialized) {
+  CompactStorage s(3, 4);
+  for (flat_index_t j = 0; j < s.size(); ++j) EXPECT_EQ(s[j], 0.0);
+}
+
+TEST(CompactStorage, FlatAndKeyedAccessAgree) {
+  CompactStorage s(2, 4);
+  const RegularSparseGrid& g = s.grid();
+  for (flat_index_t j = 0; j < s.size(); ++j) {
+    const GridPoint gp = g.idx2gp(j);
+    s[j] = static_cast<real_t>(j) + 0.5;
+    EXPECT_EQ(s.at(gp.level, gp.index), s[j]);
+    EXPECT_EQ(s.get(gp.level, gp.index), s[j]);
+  }
+}
+
+TEST(CompactStorage, SetThroughKeyVisibleThroughFlat) {
+  CompactStorage s(3, 3);
+  const GridPoint gp = s.grid().idx2gp(7);
+  s.set(gp.level, gp.index, 2.25);
+  EXPECT_EQ(s[7], 2.25);
+}
+
+TEST(CompactStorage, SampleEvaluatesFunctionAtEveryPoint) {
+  CompactStorage s(2, 4);
+  s.sample([](const CoordVector& x) { return x[0] + 10 * x[1]; });
+  for (flat_index_t j = 0; j < s.size(); ++j) {
+    const CoordVector x = coordinates(s.grid().idx2gp(j));
+    EXPECT_DOUBLE_EQ(s[j], x[0] + 10 * x[1]);
+  }
+}
+
+TEST(CompactStorage, MemoryIsCoefficientArrayPlusSmallMetadata) {
+  CompactStorage s(5, 8);
+  const std::size_t payload = s.values().capacity() * sizeof(real_t);
+  EXPECT_GE(s.memory_bytes(), payload);
+  // Metadata (binmat + offsets) must be tiny relative to the payload:
+  // this is the whole point of the compact structure.
+  EXPECT_LT(s.memory_bytes() - payload, 8u * 1024u);
+}
+
+TEST(CompactStorage, ConstructFromExistingGrid) {
+  RegularSparseGrid g(4, 5);
+  CompactStorage s(g);
+  EXPECT_EQ(s.size(), g.num_points());
+  EXPECT_EQ(s.dim(), 4u);
+}
+
+TEST(CompactStorage, CopyIsDeep) {
+  CompactStorage a(2, 3);
+  a[0] = 1.0;
+  CompactStorage b = a;
+  b[0] = 2.0;
+  EXPECT_EQ(a[0], 1.0);
+  EXPECT_EQ(b[0], 2.0);
+}
+
+}  // namespace
+}  // namespace csg

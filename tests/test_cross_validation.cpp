@@ -1,0 +1,187 @@
+// Randomized cross-validation: every representation in the library —
+// compact, truncated, adaptive, combination, restriction, serialization —
+// must describe the SAME function when built from the same data. Seeds
+// drive randomized shapes and coefficients so each run covers fresh
+// territory deterministically.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "csg/adaptive/adaptive_grid.hpp"
+#include "csg/combination/combination_grid.hpp"
+#include "csg/core.hpp"
+#include "csg/io/serialize.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg {
+namespace {
+
+class CrossValidation : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::mt19937_64 rng{GetParam()};
+
+  dim_t random_dim(dim_t lo, dim_t hi) {
+    return static_cast<dim_t>(
+        std::uniform_int_distribution<unsigned>(lo, hi)(rng));
+  }
+  level_t random_level(level_t lo, level_t hi) {
+    return static_cast<level_t>(
+        std::uniform_int_distribution<unsigned>(lo, hi)(rng));
+  }
+
+  /// Random coefficients, not sampled from any smooth function: the
+  /// algebra must hold for arbitrary data.
+  CompactStorage random_grid_function(dim_t d, level_t n) {
+    CompactStorage s(d, n);
+    std::uniform_real_distribution<real_t> dist(-2, 2);
+    for (flat_index_t j = 0; j < s.size(); ++j) s[j] = dist(rng);
+    return s;
+  }
+};
+
+TEST_P(CrossValidation, HierarchizeDehierarchizeRoundTripOnRandomData) {
+  const dim_t d = random_dim(1, 5);
+  const level_t n = random_level(2, 6 - d / 2);
+  CompactStorage s = random_grid_function(d, n);
+  const std::vector<real_t> original = s.values();
+  hierarchize(s);
+  dehierarchize(s);
+  for (flat_index_t j = 0; j < s.size(); ++j)
+    ASSERT_NEAR(s[j], original[static_cast<std::size_t>(j)], 1e-10);
+}
+
+TEST_P(CrossValidation, AllRepresentationsAgreeOnRandomCoefficients) {
+  const dim_t d = random_dim(2, 4);
+  const level_t n = random_level(3, 4);
+  // Hierarchical coefficients drawn at random; fs is their interpolant.
+  CompactStorage compact = random_grid_function(d, n);
+
+  // Truncated with eps = 0 is lossless.
+  const TruncatedStorage truncated(compact, 0);
+
+  // Nodal values of fs feed the adaptive grid (regular init).
+  CompactStorage nodal = compact;
+  dehierarchize(nodal);
+  adaptive::AdaptiveSparseGrid adaptive_grid(d, n);
+  {
+    std::size_t cursor = 0;
+    (void)cursor;
+    adaptive_grid.sample([&](const CoordVector& x) {
+      // The adaptive grid's points coincide with the regular grid's; read
+      // the nodal value through evaluation of the dehierarchized data.
+      return evaluate(compact, x);
+    });
+  }
+  adaptive_grid.hierarchize();
+
+  // The combination technique samples fs at its component grid points;
+  // interpolation commutes, so the combination equals fs.
+  combination::CombinationGrid combi(d, n);
+  combi.sample([&](const CoordVector& x) { return evaluate(compact, x); });
+
+  // Serialization round trip.
+  std::stringstream blob;
+  io::save(compact, blob);
+  const CompactStorage reloaded = io::load(blob);
+
+  for (const CoordVector& x :
+       workloads::uniform_points(d, 60, GetParam() ^ 0xabcd)) {
+    const real_t reference = evaluate(compact, x);
+    ASSERT_EQ(truncated.evaluate(x), reference);
+    ASSERT_EQ(evaluate(reloaded, x), reference);
+    ASSERT_NEAR(adaptive_grid.evaluate(x), reference, 1e-11);
+    ASSERT_NEAR(combi.evaluate(x), reference, 1e-11);
+  }
+}
+
+TEST_P(CrossValidation, RestrictionAgreesAtRandomPlanes) {
+  const dim_t d = random_dim(3, 5);
+  const level_t n = random_level(3, 4);
+  const CompactStorage full = random_grid_function(d, n);
+
+  // Random kept subset of size 1..d-1.
+  const dim_t k = random_dim(1, d - 1);
+  std::vector<dim_t> all(d);
+  for (dim_t t = 0; t < d; ++t) all[t] = t;
+  std::shuffle(all.begin(), all.end(), rng);
+  DimVector<dim_t> kept(all.begin(), all.begin() + k);
+  std::sort(kept.begin(), kept.end());
+
+  std::uniform_real_distribution<real_t> coord(0, 1);
+  CoordVector anchor(d - k);
+  for (real_t& a : anchor) a = coord(rng);
+
+  const CompactStorage slice = restrict_to_plane(full, kept, anchor);
+  for (int trial = 0; trial < 40; ++trial) {
+    CoordVector x(k);
+    for (real_t& v : x) v = coord(rng);
+    ASSERT_NEAR(evaluate(slice, x),
+                evaluate(full, embed_in_plane(d, kept, anchor, x)), 1e-11);
+  }
+}
+
+TEST_P(CrossValidation, Gp2IdxFuzzAcrossRandomShapes) {
+  const dim_t d = random_dim(1, kMaxDim);
+  const level_t max_n = d <= 4 ? 10 : (d <= 8 ? 6 : 4);
+  const level_t n = random_level(1, max_n);
+  RegularSparseGrid g(d, n);
+  std::uniform_int_distribution<flat_index_t> dist(0, g.num_points() - 1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const flat_index_t idx = dist(rng);
+    const GridPoint gp = g.idx2gp(idx);
+    ASSERT_TRUE(g.contains(gp));
+    ASSERT_EQ(g.gp2idx(gp), idx);
+  }
+}
+
+TEST_P(CrossValidation, GradientConsistentWithValueOnRandomData) {
+  const dim_t d = random_dim(1, 4);
+  const level_t n = random_level(2, 5);
+  const CompactStorage s = random_grid_function(d, n);
+  std::uniform_real_distribution<real_t> coord(0.01, 0.99);
+  for (int trial = 0; trial < 30; ++trial) {
+    CoordVector x(d);
+    for (real_t& v : x) v = coord(rng);
+    const ValueAndGradient vg = evaluate_with_gradient(s, x);
+    ASSERT_NEAR(vg.value, evaluate(s, x), 1e-11);
+  }
+}
+
+TEST_P(CrossValidation, IntegralMatchesDenseQuadratureOnRandomData) {
+  const dim_t d = random_dim(1, 3);
+  const level_t n = random_level(2, 4);
+  const CompactStorage s = random_grid_function(d, n);
+  // Midpoint-rule quadrature fine enough to resolve every cell exactly in
+  // expectation terms: use 4x the finest resolution per dimension.
+  const int cells = 1 << (n + 2);
+  double acc = 0;
+  DimVector<int> c(d, 0);
+  for (;;) {
+    CoordVector x(d);
+    for (dim_t t = 0; t < d; ++t)
+      x[t] = (static_cast<real_t>(c[t]) + real_t{0.5}) / cells;
+    acc += evaluate(s, x);
+    dim_t t = d;
+    bool done = true;
+    while (t-- > 0) {
+      if (++c[t] < cells) {
+        done = false;
+        break;
+      }
+      c[t] = 0;
+    }
+    if (done) break;
+  }
+  acc /= std::pow(static_cast<double>(cells), d);
+  ASSERT_NEAR(integrate(s), acc, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidation,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace csg

@@ -1,0 +1,158 @@
+#include "csg/core/dim_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace csg {
+namespace {
+
+TEST(DimVector, DefaultConstructedIsEmpty) {
+  DimVector<int> v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(DimVector, SizedConstructorFills) {
+  DimVector<int> v(4, 7);
+  ASSERT_EQ(v.size(), 4u);
+  for (dim_t t = 0; t < 4; ++t) EXPECT_EQ(v[t], 7);
+}
+
+TEST(DimVector, SizedConstructorDefaultsToZero) {
+  DimVector<int> v(3);
+  for (dim_t t = 0; t < 3; ++t) EXPECT_EQ(v[t], 0);
+}
+
+TEST(DimVector, InitializerList) {
+  DimVector<int> v{1, 2, 3};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(DimVector, IteratorRangeConstructor) {
+  const int raw[] = {4, 5, 6, 7};
+  DimVector<int> v(std::begin(raw), std::end(raw));
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.front(), 4);
+  EXPECT_EQ(v.back(), 7);
+}
+
+TEST(DimVector, PushAndPop) {
+  DimVector<int> v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.back(), 1);
+}
+
+TEST(DimVector, ResizeGrowsWithFill) {
+  DimVector<int> v{1};
+  v.resize(3, 9);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 9);
+  EXPECT_EQ(v[2], 9);
+}
+
+TEST(DimVector, ResizeShrinksKeepingPrefix) {
+  DimVector<int> v{1, 2, 3};
+  v.resize(1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST(DimVector, ClearEmpties) {
+  DimVector<int> v{1, 2};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(DimVector, RangeForIteratesInOrder) {
+  DimVector<int> v{10, 20, 30};
+  int expected = 10;
+  for (int x : v) {
+    EXPECT_EQ(x, expected);
+    expected += 10;
+  }
+}
+
+TEST(DimVector, L1NormSumsComponents) {
+  LevelVector l{3, 0, 4};
+  EXPECT_EQ(l.l1_norm(), 7u);
+  EXPECT_EQ(LevelVector{}.l1_norm(), 0u);
+}
+
+TEST(DimVector, L1NormDoesNotOverflowNarrowTypes) {
+  DimVector<std::uint8_t> v(8, 255);
+  EXPECT_EQ(v.l1_norm(), 8u * 255u);
+}
+
+TEST(DimVector, LinfNormIsMaxComponent) {
+  LevelVector l{3, 0, 4};
+  EXPECT_EQ(l.linf_norm(), 4u);
+  EXPECT_EQ(LevelVector{}.linf_norm(), 0u);
+}
+
+TEST(DimVector, EqualityComparesContentAndSize) {
+  DimVector<int> a{1, 2};
+  DimVector<int> b{1, 2};
+  DimVector<int> c{1, 2, 3};
+  DimVector<int> d{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(DimVector, LexicographicOrdering) {
+  DimVector<int> a{1, 2};
+  DimVector<int> b{1, 3};
+  DimVector<int> prefix{1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(prefix, a);  // shorter orders first on ties
+  EXPECT_GT(b, a);
+}
+
+TEST(DimVector, StreamOutput) {
+  DimVector<int> v{1, 2, 3};
+  std::ostringstream os;
+  os << v;
+  EXPECT_EQ(os.str(), "(1,2,3)");
+}
+
+TEST(DimVector, StreamOutputPrintsNarrowTypesNumerically) {
+  DimVector<std::uint8_t> v{65, 66};
+  std::ostringstream os;
+  os << v;
+  EXPECT_EQ(os.str(), "(65,66)");
+}
+
+TEST(DimVector, CopyIsIndependent) {
+  DimVector<int> a{1, 2, 3};
+  DimVector<int> b = a;
+  b[0] = 99;
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 99);
+}
+
+TEST(DimVectorDeath, PushBeyondCapacityAborts) {
+  DimVector<int> v(kMaxDim, 0);
+  EXPECT_DEATH(v.push_back(1), "precondition");
+}
+
+TEST(DimVectorDeath, OversizedConstructionAborts) {
+  EXPECT_DEATH(DimVector<int>(kMaxDim + 1, 0), "precondition");
+}
+
+TEST(DimVectorDeath, PopFromEmptyAborts) {
+  DimVector<int> v;
+  EXPECT_DEATH(v.pop_back(), "precondition");
+}
+
+}  // namespace
+}  // namespace csg

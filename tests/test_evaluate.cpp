@@ -1,0 +1,122 @@
+#include "csg/core/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csg/core/hierarchize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg {
+namespace {
+
+using workloads::TestFunction;
+
+CompactStorage compressed(const TestFunction& f, dim_t d, level_t n) {
+  CompactStorage s(d, n);
+  s.sample(f.f);
+  hierarchize(s);
+  return s;
+}
+
+TEST(Evaluate, SingleBasisFunctionReproducesItsHat) {
+  // Put a unit coefficient on one basis function; evaluation must equal the
+  // tensor hat everywhere.
+  CompactStorage s(2, 4);
+  const LevelVector l{1, 2};
+  const IndexVector i{3, 5};
+  s.at(l, i) = 1.0;
+  for (const CoordVector& x : workloads::uniform_points(2, 200, 11)) {
+    const real_t expected =
+        hat_basis_1d(1, 3, x[0]) * hat_basis_1d(2, 5, x[1]);
+    EXPECT_NEAR(evaluate(s, x), expected, 1e-15);
+  }
+}
+
+TEST(Evaluate, ZeroOnDomainBoundary) {
+  const CompactStorage s = compressed(workloads::gaussian_bump(3), 3, 5);
+  EXPECT_DOUBLE_EQ(evaluate(s, CoordVector{0.0, 0.3, 0.7}), 0.0);
+  EXPECT_DOUBLE_EQ(evaluate(s, CoordVector{0.4, 1.0, 0.7}), 0.0);
+  EXPECT_DOUBLE_EQ(evaluate(s, CoordVector{0.0, 0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(evaluate(s, CoordVector{1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(Evaluate, ExactForRepresentableFunction) {
+  // coarse_dlinear lies in the span of every grid of level >= 2, so sparse
+  // grid interpolation is exact everywhere, not only at grid points.
+  const dim_t d = 3;
+  const TestFunction f = workloads::coarse_dlinear(d);
+  const CompactStorage s = compressed(f, d, 4);
+  for (const CoordVector& x : workloads::halton_points(d, 300)) {
+    EXPECT_NEAR(evaluate(s, x), f(x), 1e-13);
+  }
+}
+
+TEST(Evaluate, ManyMatchesSingle) {
+  const CompactStorage s = compressed(workloads::simulation_field(3), 3, 5);
+  const auto pts = workloads::uniform_points(3, 64, 5);
+  const auto many = evaluate_many(s, pts);
+  ASSERT_EQ(many.size(), pts.size());
+  for (std::size_t p = 0; p < pts.size(); ++p)
+    EXPECT_EQ(many[p], evaluate(s, pts[p]));
+}
+
+class BlockSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockSizeSweep, BlockedEvaluationMatchesUnblocked) {
+  const CompactStorage s = compressed(workloads::oscillatory(4), 4, 4);
+  const auto pts = workloads::uniform_points(4, 133, 17);
+  const auto plain = evaluate_many(s, pts);
+  const auto blocked = evaluate_many_blocked(s, pts, GetParam());
+  ASSERT_EQ(blocked.size(), plain.size());
+  for (std::size_t p = 0; p < pts.size(); ++p)
+    EXPECT_NEAR(blocked[p], plain[p], 1e-15) << "point " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSizeSweep,
+                         ::testing::Values(1, 2, 7, 64, 133, 500));
+
+TEST(Evaluate, SpanFormMatchesStorageForm) {
+  const CompactStorage s = compressed(workloads::gaussian_bump(2), 2, 5);
+  const std::span<const real_t> coeffs(s.data(), s.values().size());
+  for (const CoordVector& x : workloads::uniform_points(2, 50, 3))
+    EXPECT_EQ(evaluate_span(s.grid(), coeffs, x), evaluate(s, x));
+}
+
+TEST(Evaluate, InterpolationErrorDecaysWithLevel) {
+  // Classic sparse grid convergence: for the smooth parabola product the
+  // max interpolation error must shrink monotonically (and substantially)
+  // as the level grows.
+  const dim_t d = 2;
+  const TestFunction f = workloads::parabola_product(d);
+  const auto pts = workloads::halton_points(d, 500);
+  real_t prev_err = std::numeric_limits<real_t>::infinity();
+  for (level_t n : {2, 4, 6, 8}) {
+    const CompactStorage s = compressed(f, d, n);
+    real_t err = 0;
+    for (const CoordVector& x : pts)
+      err = std::max(err, std::abs(evaluate(s, x) - f(x)));
+    EXPECT_LT(err, prev_err * 0.5) << "no decay at level " << n;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-3);
+}
+
+TEST(Evaluate, HigherDimensionalErrorIsControlled) {
+  const dim_t d = 5;
+  const TestFunction f = workloads::parabola_product(d);
+  const CompactStorage s = compressed(f, d, 7);
+  real_t err = 0;
+  for (const CoordVector& x : workloads::halton_points(d, 300))
+    err = std::max(err, std::abs(evaluate(s, x) - f(x)));
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(EvaluateDeath, DimensionMismatchAborts) {
+  const CompactStorage s(2, 3);
+  EXPECT_DEATH(evaluate(s, CoordVector{0.5}), "precondition");
+}
+
+}  // namespace
+}  // namespace csg

@@ -1,0 +1,171 @@
+// The central integration test: both algorithm families (the original
+// recursive Alg. 1/2 and the iterative Alg. 6/7) over all five storages
+// must produce the same hierarchical coefficients and the same interpolant
+// as the compact flat-array reference.
+#include "csg/baselines/generic_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csg/baselines/map_storages.hpp"
+#include "csg/baselines/prefix_tree_storage.hpp"
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg::baselines {
+namespace {
+
+constexpr dim_t kDim = 4;
+constexpr level_t kLevel = 4;
+
+const workloads::TestFunction& test_function() {
+  static const workloads::TestFunction f = workloads::simulation_field(kDim);
+  return f;
+}
+
+/// Reference coefficients from the core (flat) implementation.
+const CompactStorage& reference() {
+  static const CompactStorage ref = [] {
+    CompactStorage s(kDim, kLevel);
+    s.sample(test_function().f);
+    hierarchize(s);
+    return s;
+  }();
+  return ref;
+}
+
+template <typename S>
+class GenericAlgorithms : public ::testing::Test {};
+
+using StorageTypes =
+    ::testing::Types<CompactStorage, StdMapStorage, EnhancedMapStorage,
+                     EnhancedHashStorage, PrefixTreeStorage>;
+TYPED_TEST_SUITE(GenericAlgorithms, StorageTypes);
+
+TYPED_TEST(GenericAlgorithms, IterativeHierarchizationMatchesReference) {
+  TypeParam s(kDim, kLevel);
+  sample(s, test_function().f);
+  hierarchize_iterative(s);
+  for_each_point(s.grid(), [&](const LevelVector& l, const IndexVector& i) {
+    EXPECT_NEAR(s.get(l, i), reference().get(l, i), 1e-13);
+  });
+}
+
+TYPED_TEST(GenericAlgorithms, RecursiveHierarchizationMatchesReference) {
+  TypeParam s(kDim, kLevel);
+  sample(s, test_function().f);
+  hierarchize_recursive(s);
+  for_each_point(s.grid(), [&](const LevelVector& l, const IndexVector& i) {
+    EXPECT_NEAR(s.get(l, i), reference().get(l, i), 1e-13);
+  });
+}
+
+TYPED_TEST(GenericAlgorithms, RecursiveRoundTripRestoresNodalValues) {
+  TypeParam s(kDim, kLevel);
+  sample(s, test_function().f);
+  hierarchize_recursive(s);
+  dehierarchize_recursive(s);
+  for_each_point(s.grid(), [&](const LevelVector& l, const IndexVector& i) {
+    EXPECT_NEAR(s.get(l, i), test_function()(coordinates({l, i})), 1e-12);
+  });
+}
+
+TYPED_TEST(GenericAlgorithms, IterativeRoundTripRestoresNodalValues) {
+  TypeParam s(kDim, kLevel);
+  sample(s, test_function().f);
+  hierarchize_iterative(s);
+  dehierarchize_iterative(s);
+  for_each_point(s.grid(), [&](const LevelVector& l, const IndexVector& i) {
+    EXPECT_NEAR(s.get(l, i), test_function()(coordinates({l, i})), 1e-12);
+  });
+}
+
+TYPED_TEST(GenericAlgorithms, BothEvaluationsMatchCoreEvaluate) {
+  TypeParam s(kDim, kLevel);
+  sample(s, test_function().f);
+  hierarchize_iterative(s);
+  for (const CoordVector& x : workloads::uniform_points(kDim, 100, 99)) {
+    const real_t expected = evaluate(reference(), x);
+    EXPECT_NEAR(evaluate_iterative(s, x), expected, 1e-13);
+    EXPECT_NEAR(evaluate_recursive(s, x), expected, 1e-13);
+  }
+}
+
+TYPED_TEST(GenericAlgorithms, BlockedEvaluationMatchesCoreEvaluate) {
+  TypeParam s(kDim, kLevel);
+  sample(s, test_function().f);
+  hierarchize_iterative(s);
+  const auto pts = workloads::uniform_points(kDim, 75, 5);
+  for (std::size_t block : {std::size_t{1}, std::size_t{16}, std::size_t{75},
+                            std::size_t{500}}) {
+    const auto got = evaluate_many_blocked_iterative(s, pts, block);
+    ASSERT_EQ(got.size(), pts.size());
+    for (std::size_t p = 0; p < pts.size(); ++p)
+      EXPECT_NEAR(got[p], evaluate(reference(), pts[p]), 1e-13)
+          << "block=" << block << " point=" << p;
+  }
+}
+
+TEST(GenericAlgorithms, ForEachPointVisitsEveryPointOnce) {
+  RegularSparseGrid g(3, 5);
+  std::set<flat_index_t> seen;
+  for_each_point(g, [&](const LevelVector& l, const IndexVector& i) {
+    EXPECT_TRUE(seen.insert(g.gp2idx(l, i)).second);
+  });
+  EXPECT_EQ(seen.size(), g.num_points());
+}
+
+TEST(GenericAlgorithms, ForEachPointVisitsInFlatOrder) {
+  RegularSparseGrid g(2, 5);
+  flat_index_t expected = 0;
+  for_each_point(g, [&](const LevelVector& l, const IndexVector& i) {
+    EXPECT_EQ(g.gp2idx(l, i), expected++);
+  });
+}
+
+TEST(GenericAlgorithms, PolesPartitionTheGrid) {
+  // Every grid point lies on exactly one pole of each dimension, and the
+  // pole roots have l[t] = 0, i[t] = 1.
+  RegularSparseGrid g(3, 4);
+  for (dim_t t = 0; t < 3; ++t) {
+    std::uint64_t covered = 0;
+    detail::for_each_pole(
+        g, t, [&](LevelVector& l, IndexVector& i, level_t budget) {
+          EXPECT_EQ(l[t], 0u);
+          EXPECT_EQ(i[t], 1u);
+          EXPECT_EQ(budget, g.level() - 1 - l.l1_norm());
+          // Pole length: points at levels 0..budget in dimension t on this
+          // pole = 2^{budget+1} - 1.
+          covered += (std::uint64_t{1} << (budget + 1)) - 1;
+        });
+    EXPECT_EQ(covered, g.num_points()) << "dimension " << t;
+  }
+}
+
+TEST(GenericAlgorithms, RecursiveEvaluationPrunesOutsideSupport) {
+  // x on a coarse grid line: all finer contributions vanish; recursive and
+  // iterative evaluation agree including at such degenerate locations.
+  CompactStorage s(2, 5);
+  sample(s, workloads::parabola_product(2).f);
+  hierarchize_iterative(s);
+  for (const real_t x0 : {0.5, 0.25, 0.125, 0.0625}) {
+    const CoordVector x{x0, 0.3};
+    EXPECT_NEAR(evaluate_recursive(s, x), evaluate_iterative(s, x), 1e-14);
+  }
+}
+
+TEST(GenericAlgorithms, OneDimensionalGridWorksThroughEveryPath) {
+  StdMapStorage s(1, 6);
+  sample(s, [](const CoordVector& x) { return x[0] * (1 - x[0]); });
+  hierarchize_recursive(s);
+  StdMapStorage s2(1, 6);
+  sample(s2, [](const CoordVector& x) { return x[0] * (1 - x[0]); });
+  hierarchize_iterative(s2);
+  for_each_point(s.grid(), [&](const LevelVector& l, const IndexVector& i) {
+    EXPECT_NEAR(s.get(l, i), s2.get(l, i), 1e-14);
+  });
+}
+
+}  // namespace
+}  // namespace csg::baselines

@@ -1,0 +1,276 @@
+#include "csg/gpusim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csg/gpusim/device.hpp"
+
+namespace csg::gpusim {
+namespace {
+
+DeviceSpec test_device() { return tesla_c1060(); }
+
+TEST(DeviceSpec, OccupancyFullWhenUnconstrained) {
+  const DeviceSpec dev = test_device();
+  EXPECT_DOUBLE_EQ(dev.occupancy(256, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dev.occupancy(128, 16), 1.0);
+}
+
+TEST(DeviceSpec, OccupancyLimitedBySharedMemory) {
+  const DeviceSpec dev = test_device();  // 16 KB shared, 1024 contexts
+  // 8 KB per block of 128 threads: 2 resident blocks = 256 threads = 25%.
+  EXPECT_DOUBLE_EQ(dev.occupancy(128, 8 * 1024), 0.25);
+  // A block demanding more than the whole SM cannot run at all.
+  EXPECT_DOUBLE_EQ(dev.occupancy(128, 17 * 1024), 0.0);
+}
+
+TEST(DeviceSpec, OccupancyLimitedByThreadContexts) {
+  const DeviceSpec dev = test_device();
+  // 512-thread blocks: 2 fit into 1024 contexts regardless of shared mem.
+  EXPECT_DOUBLE_EQ(dev.occupancy(512, 64), 1.0);
+  EXPECT_DOUBLE_EQ(dev.occupancy(384, 0), 2.0 * 384 / 1024);  // granularity
+}
+
+TEST(Launcher, PerfectlyCoalescedWarpLoadsOneSegmentPerSixteenLanes) {
+  // 32 lanes reading consecutive doubles touch 256 bytes = 2 segments.
+  Launcher ln(test_device());
+  GlobalBuffer<double> buf(ln, 64);
+  ln.launch(1, 32, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) { th.ld(buf, th.tid()); });
+  });
+  EXPECT_EQ(ln.total_counters().global_accesses, 32u);
+  EXPECT_EQ(ln.total_counters().global_transactions, 2u);
+  EXPECT_EQ(ln.total_counters().warp_instructions, 1u);
+}
+
+TEST(Launcher, ScatteredWarpLoadsOneSegmentPerLane) {
+  Launcher ln(test_device());
+  GlobalBuffer<double> buf(ln, 32 * 64);
+  ln.launch(1, 32, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) { th.ld(buf, th.tid() * 64); });  // 512B apart
+  });
+  EXPECT_EQ(ln.total_counters().global_transactions, 32u);
+}
+
+TEST(Launcher, BroadcastLoadCoalescesToOneTransaction) {
+  Launcher ln(test_device());
+  GlobalBuffer<double> buf(ln, 8);
+  ln.launch(1, 32, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) { th.ld(buf, 3); });
+  });
+  EXPECT_EQ(ln.total_counters().global_transactions, 1u);
+}
+
+TEST(Launcher, SeparateBuffersNeverShareATransaction) {
+  Launcher ln(test_device());
+  GlobalBuffer<double> a(ln, 1);
+  GlobalBuffer<double> b(ln, 1);
+  ln.launch(1, 2, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) {
+      if (th.tid() == 0)
+        th.ld(a, 0);
+      else
+        th.ld(b, 0);
+    });
+  });
+  EXPECT_EQ(ln.total_counters().global_transactions, 2u);
+}
+
+TEST(Launcher, DivergenceShowsAsLowSimdEfficiency) {
+  Launcher ln(test_device());
+  GlobalBuffer<double> buf(ln, 64);
+  ln.launch(1, 32, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) {
+      if (th.tid() % 2 == 0) th.flop(4);  // half the lanes idle
+    });
+  });
+  // warp executes max-lane 4 instruction slots; lanes contribute 16*4.
+  EXPECT_DOUBLE_EQ(ln.total_counters().simd_efficiency(32), 16.0 * 4 / (4 * 32));
+}
+
+TEST(Launcher, UniformComputeHasFullSimdEfficiency) {
+  Launcher ln(test_device());
+  ln.launch(2, 64, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) { th.flop(7); });
+  });
+  EXPECT_DOUBLE_EQ(ln.total_counters().simd_efficiency(32), 1.0);
+}
+
+TEST(Launcher, MasterPhaseRunsOnlyThreadZero) {
+  Launcher ln(test_device());
+  GlobalBuffer<int> buf(ln, 4);
+  int executed = 0;
+  ln.launch(1, 64, 0, [&](Block& blk) {
+    blk.master([&](ThreadCtx& th) {
+      EXPECT_EQ(th.tid(), 0u);
+      ++executed;
+      th.st(buf, 0, 42);
+    });
+  });
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(buf.host()[0], 42);
+  EXPECT_EQ(ln.total_counters().global_transactions, 1u);
+}
+
+TEST(Launcher, PhasesActAsBarriers) {
+  // Writes from phase 1 must be visible to every thread of phase 2 —
+  // the __syncthreads semantics the phase model guarantees by construction.
+  Launcher ln(test_device());
+  GlobalBuffer<int> buf(ln, 64);
+  GlobalBuffer<int> out(ln, 64);
+  ln.launch(1, 64, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) {
+      th.st(buf, th.tid(), static_cast<int>(th.tid()) + 1);
+    });
+    blk.all([&](ThreadCtx& th) {
+      // read a value written by a *different* thread
+      th.st(out, th.tid(), th.ld(buf, (th.tid() + 1) % 64));
+    });
+  });
+  for (int tid = 0; tid < 64; ++tid)
+    EXPECT_EQ(out.host()[static_cast<std::size_t>(tid)], (tid + 1) % 64 + 1);
+}
+
+TEST(Launcher, SharedArrayCommunicatesWithinBlock) {
+  Launcher ln(test_device());
+  GlobalBuffer<int> out(ln, 32);
+  ln.launch(1, 32, 1024, [&](Block& blk) {
+    SharedArray<int> sh = blk.alloc_shared<int>(1);
+    blk.master([&](ThreadCtx& th) { sh.write(th, 0, 99); });
+    blk.all([&](ThreadCtx& th) { th.st(out, th.tid(), sh.read(th, 0)); });
+  });
+  for (int v : out.host()) EXPECT_EQ(v, 99);
+  EXPECT_EQ(ln.total_counters().shared_accesses, 33u);
+}
+
+TEST(Launcher, ConstantReadsDoNotGenerateTransactions) {
+  Launcher ln(test_device());
+  ConstantBuffer<std::uint64_t> cb(std::vector<std::uint64_t>{5, 6, 7});
+  ln.launch(1, 32, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) { EXPECT_EQ(th.ld_const(cb, 1), 6u); });
+  });
+  EXPECT_EQ(ln.total_counters().global_transactions, 0u);
+  EXPECT_EQ(ln.total_counters().constant_accesses, 32u);
+}
+
+TEST(Launcher, TimingMemoryBoundKernel) {
+  const DeviceSpec dev = test_device();
+  PerfCounters c;
+  c.global_transactions = 1000000;
+  c.warp_instructions = 10;
+  const KernelTiming t = model_kernel_time(dev, c, 1.0);
+  EXPECT_GT(t.memory_ms, t.compute_ms);
+  EXPECT_DOUBLE_EQ(t.total_ms, t.memory_ms);  // fully hidden latency
+  // 1e6 transactions * 128 B / 102 GB/s ~ 1.25 ms.
+  EXPECT_NEAR(t.memory_ms, 1.2549, 1e-3);
+}
+
+TEST(Launcher, LowOccupancyExposesLatency) {
+  const DeviceSpec dev = test_device();
+  PerfCounters c;
+  c.global_transactions = 1000;
+  c.warp_instructions = 10;
+  const KernelTiming full = model_kernel_time(dev, c, 1.0);
+  const KernelTiming starved = model_kernel_time(dev, c, 0.1);
+  EXPECT_GT(starved.total_ms, full.total_ms);
+}
+
+TEST(Launcher, TotalsAccumulateAcrossLaunchesAndReset) {
+  Launcher ln(test_device());
+  GlobalBuffer<double> buf(ln, 32);
+  for (int r = 0; r < 3; ++r)
+    ln.launch(1, 32, 0, [&](Block& blk) {
+      blk.all([&](ThreadCtx& th) { th.ld(buf, th.tid()); });
+    });
+  EXPECT_EQ(ln.launch_count(), 3u);
+  EXPECT_EQ(ln.total_counters().global_accesses, 96u);
+  EXPECT_GT(ln.total_modeled_ms(), 0.0);
+  ln.reset();
+  EXPECT_EQ(ln.launch_count(), 0u);
+  EXPECT_EQ(ln.total_counters().global_accesses, 0u);
+}
+
+TEST(Launcher, TailBlockDivergenceCounted) {
+  // 40 threads in a 64-thread block: warp 2 has only 8 active lanes.
+  Launcher ln(test_device());
+  GlobalBuffer<double> buf(ln, 64);
+  ln.launch(1, 64, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) {
+      if (th.tid() < 40) th.ld(buf, th.tid());
+    });
+  });
+  EXPECT_EQ(ln.total_counters().global_accesses, 40u);
+  // warp 0: 32 consecutive doubles = 2 segments; warp 1: 8 doubles = 1.
+  EXPECT_EQ(ln.total_counters().global_transactions, 3u);
+}
+
+TEST(Launcher, FermiCachesAbsorbRepeatedTransactions) {
+  Launcher ln(fermi_c2050());
+  GlobalBuffer<double> buf(ln, 16);
+  // Two phases touching the same line: the second hits in the per-SM L1.
+  ln.launch(1, 32, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) { th.ld(buf, 0); });
+    blk.all([&](ThreadCtx& th) { th.ld(buf, 0); });
+  });
+  EXPECT_EQ(ln.total_counters().global_transactions, 1u);
+  EXPECT_EQ(ln.total_counters().l1_hit_transactions, 1u);
+}
+
+TEST(Launcher, CachesPersistAcrossLaunchesUntilReset) {
+  Launcher ln(fermi_c2050());
+  GlobalBuffer<double> buf(ln, 16);
+  auto once = [&] {
+    ln.launch(1, 32, 0, [&](Block& blk) {
+      blk.all([&](ThreadCtx& th) { th.ld(buf, 0); });
+    });
+  };
+  once();  // cold: DRAM
+  once();  // warm: same SM's L1 still holds the line
+  EXPECT_EQ(ln.total_counters().global_transactions, 1u);
+  EXPECT_EQ(ln.total_counters().l1_hit_transactions, 1u);
+  ln.reset();
+  once();  // flushed: DRAM again
+  EXPECT_EQ(ln.total_counters().global_transactions, 1u);
+}
+
+TEST(Launcher, BlocksOnDifferentSmsHavePrivateL1s) {
+  Launcher ln(fermi_c2050());
+  GlobalBuffer<double> buf(ln, 16);
+  // Two blocks -> SMs 0 and 1. Both read the same line: the second block's
+  // L1 is cold, but the device-wide L2 already holds it.
+  ln.launch(2, 32, 0, [&](Block& blk) {
+    blk.all([&](ThreadCtx& th) { th.ld(buf, 0); });
+  });
+  EXPECT_EQ(ln.total_counters().global_transactions, 1u);
+  EXPECT_EQ(ln.total_counters().l2_hit_transactions, 1u);
+  EXPECT_EQ(ln.total_counters().l1_hit_transactions, 0u);
+}
+
+TEST(Launcher, TeslaHasNoCaches) {
+  Launcher ln(tesla_c1060());
+  GlobalBuffer<double> buf(ln, 16);
+  for (int r = 0; r < 3; ++r)
+    ln.launch(1, 32, 0, [&](Block& blk) {
+      blk.all([&](ThreadCtx& th) { th.ld(buf, 0); });
+    });
+  EXPECT_EQ(ln.total_counters().global_transactions, 3u);
+  EXPECT_EQ(ln.total_counters().l1_hit_transactions +
+                ln.total_counters().l2_hit_transactions,
+            0u);
+}
+
+TEST(LauncherDeath, OverAllocatedSharedMemoryAborts) {
+  Launcher ln(test_device());
+  EXPECT_DEATH(ln.launch(1, 32, 16,
+                         [&](Block& blk) {
+                           blk.alloc_shared<double>(100);  // 800 B > 16 B
+                         }),
+               "precondition");
+}
+
+TEST(LauncherDeath, BlockSizeBeyondDeviceLimitAborts) {
+  Launcher ln(test_device());
+  EXPECT_DEATH(ln.launch(1, 4096, 0, [](Block&) {}), "precondition");
+}
+
+}  // namespace
+}  // namespace csg::gpusim

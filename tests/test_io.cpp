@@ -1,0 +1,229 @@
+#include "csg/io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "csg/adaptive/adaptive_grid.hpp"
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg::io {
+namespace {
+
+CompactStorage make_storage() {
+  CompactStorage s(3, 5);
+  s.sample(workloads::simulation_field(3).f);
+  hierarchize(s);
+  return s;
+}
+
+TEST(Serialize, StreamRoundTripIsExact) {
+  const CompactStorage original = make_storage();
+  std::stringstream buffer;
+  save(original, buffer);
+  const CompactStorage restored = load(buffer);
+  EXPECT_EQ(restored.grid().dim(), original.grid().dim());
+  EXPECT_EQ(restored.grid().level(), original.grid().level());
+  EXPECT_EQ(restored.values(), original.values());
+}
+
+TEST(Serialize, SerializedBytesMatchesActualSize) {
+  const CompactStorage s = make_storage();
+  std::stringstream buffer;
+  save(s, buffer);
+  EXPECT_EQ(buffer.str().size(), serialized_bytes(s));
+}
+
+TEST(Serialize, FormatIsHeaderPlusRawCoefficients) {
+  const CompactStorage s = make_storage();
+  // 4 magic + 4 + 4 + 8 header bytes + N doubles: the on-disk footprint is
+  // as compact as the in-memory one (no keys).
+  EXPECT_EQ(serialized_bytes(s),
+            20u + s.values().size() * sizeof(real_t));
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const CompactStorage original = make_storage();
+  const std::string path = "/tmp/csg_test_roundtrip.csg";
+  save_file(original, path);
+  const CompactStorage restored = load_file(path);
+  EXPECT_EQ(restored.values(), original.values());
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "NOPE garbage follows";
+  EXPECT_THROW(load(buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedPayloadRejected) {
+  const CompactStorage s = make_storage();
+  std::stringstream buffer;
+  save(s, buffer);
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load(cut), std::runtime_error);
+}
+
+TEST(Serialize, CorruptedHeaderRejected) {
+  const CompactStorage s = make_storage();
+  std::stringstream buffer;
+  save(s, buffer);
+  std::string bytes = buffer.str();
+  bytes[4] = char(0xFF);  // absurd dimension
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, InconsistentPointCountRejected) {
+  const CompactStorage s = make_storage();
+  std::stringstream buffer;
+  save(s, buffer);
+  std::string bytes = buffer.str();
+  bytes[12] = char(bytes[12] + 1);  // tamper with the stored N
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_file("/tmp/does_not_exist_csg_42.csg"),
+               std::runtime_error);
+}
+
+TEST(SerializeTruncated, RoundTripPreservesEverything) {
+  const CompactStorage dense = make_storage();
+  const TruncatedStorage original(dense, 1e-4);
+  std::stringstream buffer;
+  save(original, buffer);
+  const TruncatedStorage restored = load_truncated(buffer);
+  EXPECT_EQ(restored.kept_count(), original.kept_count());
+  EXPECT_EQ(restored.error_bound(), original.error_bound());
+  EXPECT_EQ(restored.indices(), original.indices());
+  EXPECT_EQ(restored.values(), original.values());
+  for (const CoordVector& x : workloads::uniform_points(3, 50, 6))
+    EXPECT_EQ(restored.evaluate(x), original.evaluate(x));
+}
+
+TEST(SerializeTruncated, CorruptIndexStreamRejected) {
+  const TruncatedStorage original(make_storage(), 1e-4);
+  std::stringstream buffer;
+  save(original, buffer);
+  std::string bytes = buffer.str();
+  // Break monotonicity of the first two stored indices (header is 24 B:
+  // magic + d + n + count + bound... magic 4, u32 d 4, u32 n 4, u64 kept 8,
+  // real bound 8 = 28 bytes).
+  bytes[28] = char(0xFF);
+  bytes[29] = char(0xFF);
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load_truncated(corrupted), std::runtime_error);
+}
+
+TEST(SerializeTruncated, WrongMagicRejected) {
+  const CompactStorage dense = make_storage();
+  std::stringstream buffer;
+  save(dense, buffer);
+  EXPECT_THROW(load_truncated(buffer), std::runtime_error);
+}
+
+TEST(SerializeBoundary, StreamRoundTripIsExact) {
+  BoundaryStorage original(3, 4);
+  original.sample(workloads::boundary_polynomial(3).f);
+  hierarchize(original);
+  std::stringstream buffer;
+  save(original, buffer);
+  const BoundaryStorage restored = load_boundary(buffer);
+  EXPECT_EQ(restored.grid().dim(), 3u);
+  EXPECT_EQ(restored.values(), original.values());
+}
+
+TEST(SerializeBoundary, FileRoundTripEvaluates) {
+  BoundaryStorage original(2, 4);
+  original.sample(workloads::boundary_polynomial(2).f);
+  hierarchize(original);
+  const std::string path = "/tmp/csg_test_boundary.csb";
+  save_file(original, path);
+  const BoundaryStorage restored = load_boundary_file(path);
+  for (const CoordVector& x : workloads::uniform_points(2, 50, 3))
+    EXPECT_EQ(evaluate(restored, x), evaluate(original, x));
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeBoundary, WrongMagicRejected) {
+  // A compact-format blob must not load as a boundary grid and vice versa.
+  const CompactStorage s = make_storage();
+  std::stringstream buffer;
+  save(s, buffer);
+  EXPECT_THROW(load_boundary(buffer), std::runtime_error);
+
+  BoundaryStorage b(2, 3);
+  std::stringstream buffer2;
+  save(b, buffer2);
+  EXPECT_THROW(load(buffer2), std::runtime_error);
+}
+
+TEST(SerializeAdaptive, RoundTripPreservesPointSetAndValues) {
+  adaptive::AdaptiveSparseGrid original(3, 3);
+  original.insert({{3, 1, 0}, {9, 3, 1}});  // make it non-regular
+  original.sample(workloads::gaussian_bump(3).f);
+  original.hierarchize();
+
+  std::stringstream buffer;
+  save(original, buffer);
+  adaptive::AdaptiveSparseGrid restored = load_adaptive(buffer);
+  EXPECT_EQ(restored.num_points(), original.num_points());
+  original.for_each_node([&](const adaptive::AdaptiveSparseGrid::Node& node) {
+    ASSERT_TRUE(restored.contains(node.point.level, node.point.index));
+  });
+  for (const CoordVector& x : workloads::uniform_points(3, 60, 9))
+    EXPECT_EQ(restored.evaluate(x), original.evaluate(x));
+}
+
+TEST(SerializeAdaptive, FileRoundTrip) {
+  adaptive::AdaptiveSparseGrid original(2, 4);
+  original.sample(workloads::parabola_product(2).f);
+  original.hierarchize();
+  const std::string path = "/tmp/csg_test_adaptive.csa";
+  save_file(original, path);
+  adaptive::AdaptiveSparseGrid restored = load_adaptive_file(path);
+  EXPECT_EQ(restored.num_points(), original.num_points());
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeAdaptive, TruncationRejected) {
+  adaptive::AdaptiveSparseGrid g(2, 3);
+  std::stringstream buffer;
+  save(g, buffer);
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() - 7));
+  EXPECT_THROW(load_adaptive(cut), std::runtime_error);
+}
+
+TEST(SerializeAdaptive, CorruptPointRejected) {
+  adaptive::AdaptiveSparseGrid g(2, 2);
+  std::stringstream buffer;
+  save(g, buffer);
+  std::string bytes = buffer.str();
+  // First record starts after the 16-byte header; make its index even.
+  bytes[16 + 4] = 2;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load_adaptive(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, EmptyGridSerializes) {
+  CompactStorage tiny(2, 1);  // one point
+  tiny[0] = 7.5;
+  std::stringstream buffer;
+  save(tiny, buffer);
+  const CompactStorage restored = load(buffer);
+  EXPECT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0], 7.5);
+}
+
+}  // namespace
+}  // namespace csg::io

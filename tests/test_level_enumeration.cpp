@@ -1,0 +1,148 @@
+#include "csg/core/level_enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace csg {
+namespace {
+
+TEST(LevelEnumeration, FirstAndLastShape) {
+  EXPECT_EQ(first_level(3, 5), (LevelVector{5, 0, 0}));
+  EXPECT_EQ(last_level(3, 5), (LevelVector{0, 0, 5}));
+  EXPECT_EQ(first_level(1, 4), (LevelVector{4}));
+  EXPECT_EQ(last_level(1, 4), (LevelVector{4}));
+}
+
+TEST(LevelEnumeration, NextLevelSmallExample) {
+  // d=2, n=2: the order of Alg. 3 is (2,0), (1,1), (0,2).
+  LevelVector l = first_level(2, 2);
+  EXPECT_EQ(l, (LevelVector{2, 0}));
+  l = next_level(l);
+  EXPECT_EQ(l, (LevelVector{1, 1}));
+  l = next_level(l);
+  EXPECT_EQ(l, (LevelVector{0, 2}));
+}
+
+TEST(LevelEnumeration, AdvanceOnLastReturnsFalse) {
+  LevelVector l = last_level(4, 3);
+  EXPECT_FALSE(advance_level(l));
+  EXPECT_EQ(l, last_level(4, 3));
+}
+
+TEST(LevelEnumeration, AdvanceOnAllZeroReturnsFalse) {
+  // The n=0 group has the single vector (0,...,0) with no successor.
+  LevelVector l(5, 0);
+  EXPECT_FALSE(advance_level(l));
+}
+
+TEST(LevelEnumeration, NumSubspacesMatchesFormula) {
+  BinomialTable binmat(30);
+  EXPECT_EQ(num_subspaces(1, 7, binmat), 1u);
+  EXPECT_EQ(num_subspaces(2, 3, binmat), 4u);
+  EXPECT_EQ(num_subspaces(10, 10, binmat), 92378u);  // C(19,9), paper scale
+}
+
+struct DimLevel {
+  dim_t d;
+  level_t n;
+};
+
+class LevelSweep : public ::testing::TestWithParam<DimLevel> {};
+
+TEST_P(LevelSweep, IterativeMatchesRecursiveEnumeration) {
+  const auto [d, n] = GetParam();
+  BinomialTable binmat(d - 1 + n);
+  std::vector<LevelVector> reference;
+  enumerate_levels(d, n, [&](const LevelVector& l) { reference.push_back(l); });
+  ASSERT_EQ(reference.size(), num_subspaces(d, n, binmat));
+
+  LevelVector l = first_level(d, n);
+  for (std::size_t k = 0; k < reference.size(); ++k) {
+    EXPECT_EQ(l, reference[k]) << "position " << k;
+    if (k + 1 < reference.size())
+      ASSERT_TRUE(advance_level(l));
+    else
+      EXPECT_FALSE(advance_level(l));
+  }
+}
+
+TEST_P(LevelSweep, EveryVectorSumsToN) {
+  const auto [d, n] = GetParam();
+  for (const LevelVector& l : LevelRange(d, n)) {
+    EXPECT_EQ(l.l1_norm(), n);
+    EXPECT_EQ(l.size(), d);
+  }
+}
+
+TEST_P(LevelSweep, NoDuplicatesInEnumeration) {
+  const auto [d, n] = GetParam();
+  BinomialTable binmat(d - 1 + n);
+  std::set<LevelVector> seen;
+  for (const LevelVector& l : LevelRange(d, n)) EXPECT_TRUE(seen.insert(l).second);
+  EXPECT_EQ(seen.size(), num_subspaces(d, n, binmat));
+}
+
+TEST_P(LevelSweep, SubspaceIndexIsConsecutiveUnderNext) {
+  // The Sec. 4.2 theorem: subspaceidx(next(l)) == subspaceidx(l) + 1.
+  const auto [d, n] = GetParam();
+  BinomialTable binmat(d - 1 + n);
+  std::uint64_t expected = 0;
+  for (const LevelVector& l : LevelRange(d, n))
+    EXPECT_EQ(subspace_index(l, binmat), expected++);
+  EXPECT_EQ(expected, num_subspaces(d, n, binmat));
+}
+
+TEST_P(LevelSweep, UnrankInvertsSubspaceIndex) {
+  const auto [d, n] = GetParam();
+  BinomialTable binmat(d - 1 + n);
+  const std::uint64_t count = num_subspaces(d, n, binmat);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const LevelVector l = unrank_subspace(d, n, r, binmat);
+    EXPECT_EQ(subspace_index(l, binmat), r);
+    EXPECT_EQ(l.l1_norm(), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LevelSweep,
+    ::testing::Values(DimLevel{1, 0}, DimLevel{1, 6}, DimLevel{2, 0},
+                      DimLevel{2, 5}, DimLevel{3, 4}, DimLevel{4, 6},
+                      DimLevel{5, 5}, DimLevel{6, 4}, DimLevel{8, 3},
+                      DimLevel{10, 3}, DimLevel{16, 2}),
+    [](const ::testing::TestParamInfo<DimLevel>& info) {
+      return "d" + std::to_string(info.param.d) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(LevelEnumeration, SubspaceIndexOfFirstIsZero) {
+  BinomialTable binmat(20);
+  for (dim_t d = 1; d <= 10; ++d)
+    for (level_t n = 0; n <= 8; ++n)
+      EXPECT_EQ(subspace_index(first_level(d, n), binmat), 0u);
+}
+
+TEST(LevelEnumeration, SubspaceIndexOfLastIsCountMinusOne) {
+  BinomialTable binmat(20);
+  for (dim_t d = 2; d <= 10; ++d)
+    for (level_t n = 0; n <= 8; ++n)
+      EXPECT_EQ(subspace_index(last_level(d, n), binmat),
+                num_subspaces(d, n, binmat) - 1);
+}
+
+TEST(LevelEnumeration, LevelRangeEmptyNeverHappens) {
+  // Even n=0 ranges contain exactly one vector.
+  int count = 0;
+  for ([[maybe_unused]] const LevelVector& l : LevelRange(7, 0)) ++count;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(LevelEnumerationDeath, UnrankOutOfRangeAborts) {
+  BinomialTable binmat(10);
+  EXPECT_DEATH(unrank_subspace(3, 4, num_subspaces(3, 4, binmat), binmat),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace csg

@@ -1,0 +1,114 @@
+#include "csg/memsim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csg::memsim {
+namespace {
+
+TEST(Cache, FirstTouchMissesThenHits) {
+  Cache c({1024, 64, 2});
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_EQ(c.accesses(), 4u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, SequentialStreamMissesOncePerLine) {
+  Cache c({32 * 1024, 64, 8});
+  const int doubles = 1000;
+  for (int k = 0; k < doubles; ++k) c.access(static_cast<std::uint64_t>(k) * 8);
+  // 1000 doubles span ceil(8000/64) = 125 lines.
+  EXPECT_EQ(c.misses(), 125u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsedWay) {
+  // 2-way, 2 sets of 64B lines: lines 0, 2, 4 map to set 0.
+  Cache c({256, 64, 2});
+  c.access(0 * 64);    // miss, install line 0
+  c.access(2 * 64);    // miss, install line 2
+  c.access(0 * 64);    // hit, line 0 becomes MRU
+  c.access(4 * 64);    // miss, evicts line 2 (LRU)
+  EXPECT_TRUE(c.access(0 * 64));
+  EXPECT_FALSE(c.access(2 * 64));  // was evicted
+}
+
+TEST(Cache, CapacityEvictionOnLargeWorkingSet) {
+  Cache c({1024, 64, 2});  // holds 16 lines
+  // Touch 64 distinct lines twice: second pass misses again (thrashing).
+  for (int pass = 0; pass < 2; ++pass)
+    for (int line = 0; line < 64; ++line)
+      c.access(static_cast<std::uint64_t>(line) * 64);
+  EXPECT_EQ(c.misses(), 128u);
+}
+
+TEST(Cache, SmallWorkingSetStaysResident) {
+  Cache c({1024, 64, 2});
+  for (int pass = 0; pass < 10; ++pass)
+    for (int line = 0; line < 8; ++line)
+      c.access(static_cast<std::uint64_t>(line) * 64);
+  EXPECT_EQ(c.misses(), 8u);  // only compulsory misses
+}
+
+TEST(Cache, FlushDropsContents) {
+  Cache c({1024, 64, 2});
+  c.access(0);
+  c.flush();
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, ResetCountersKeepsContents) {
+  Cache c({1024, 64, 2});
+  c.access(0);
+  c.reset_counters();
+  EXPECT_TRUE(c.access(0));
+  EXPECT_EQ(c.accesses(), 1u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(CacheHierarchy, L2OnlySeesL1Misses) {
+  CacheHierarchy h({1024, 64, 2}, {8192, 64, 4});
+  for (int k = 0; k < 100; ++k) h.touch(static_cast<std::uint64_t>(k) * 64, 8);
+  EXPECT_EQ(h.l1().accesses(), 100u);
+  EXPECT_EQ(h.l1().misses(), 100u);
+  EXPECT_EQ(h.l2().accesses(), 100u);
+  // Second pass: working set (100 lines) exceeds L1 (16 lines) but fits L2
+  // (128 lines): all L1 misses, all L2 hits.
+  h.reset_counters();
+  for (int k = 0; k < 100; ++k) h.touch(static_cast<std::uint64_t>(k) * 64, 8);
+  EXPECT_EQ(h.l1().misses(), 100u);
+  EXPECT_EQ(h.memory_accesses(), 0u);
+}
+
+TEST(CacheHierarchy, StraddlingObjectTouchesBothLines) {
+  CacheHierarchy h({1024, 64, 2}, {8192, 64, 4});
+  h.touch(60, 8);  // crosses the line boundary at 64
+  EXPECT_EQ(h.l1().accesses(), 2u);
+}
+
+TEST(CacheHierarchy, PresetsConstruct) {
+  CacheHierarchy n = CacheHierarchy::nehalem_core();
+  CacheHierarchy b = CacheHierarchy::barcelona_core();
+  n.touch(0);
+  b.touch(0);
+  EXPECT_EQ(n.l1().misses(), 1u);
+  EXPECT_EQ(b.l1().misses(), 1u);
+}
+
+TEST(Cache, NonPowerOfTwoSetCountsWork) {
+  // 768 KB with 128 B lines, 12 ways -> 512 sets; 96 KB 64 B 3-way -> 512.
+  Cache fermi_l2({768 * 1024, 128, 12});
+  EXPECT_FALSE(fermi_l2.access(0));
+  EXPECT_TRUE(fermi_l2.access(64));
+  Cache odd({96 * 1024, 64, 3});
+  EXPECT_FALSE(odd.access(12345));
+  EXPECT_TRUE(odd.access(12345));
+}
+
+TEST(CacheDeath, BadLineSizeRejected) {
+  EXPECT_DEATH(Cache({1024, 48, 2}), "precondition");
+}
+
+}  // namespace
+}  // namespace csg::memsim

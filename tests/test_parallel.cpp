@@ -1,0 +1,132 @@
+#include "csg/parallel/omp_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csg/baselines/map_storages.hpp"
+#include "csg/baselines/prefix_tree_storage.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg::parallel {
+namespace {
+
+using baselines::sample;
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, OmpHierarchizeMatchesSequential) {
+  const int threads = GetParam();
+  const dim_t d = 4;
+  const level_t n = 5;
+  const auto f = workloads::simulation_field(d);
+  CompactStorage seq(d, n), par(d, n);
+  seq.sample(f.f);
+  par.sample(f.f);
+  hierarchize(seq);
+  omp_hierarchize(par, threads);
+  for (flat_index_t j = 0; j < seq.size(); ++j)
+    ASSERT_EQ(seq[j], par[j]) << "threads=" << threads << " idx=" << j;
+}
+
+TEST_P(ThreadSweep, OmpPoleHierarchizeIsBitIdenticalToSequential) {
+  const int threads = GetParam();
+  const dim_t d = 4;
+  const level_t n = 5;
+  CompactStorage seq(d, n), par(d, n);
+  seq.sample(workloads::simulation_field(d).f);
+  par.sample(workloads::simulation_field(d).f);
+  hierarchize_poles(seq);
+  omp_hierarchize_poles(par, threads);
+  for (flat_index_t j = 0; j < seq.size(); ++j)
+    ASSERT_EQ(seq[j], par[j]) << "threads=" << threads << " idx=" << j;
+}
+
+TEST_P(ThreadSweep, OmpDehierarchizeInvertsOmpHierarchize) {
+  const int threads = GetParam();
+  const dim_t d = 3;
+  const level_t n = 6;
+  CompactStorage s(d, n);
+  s.sample(workloads::gaussian_bump(d).f);
+  const std::vector<real_t> nodal = s.values();
+  omp_hierarchize(s, threads);
+  omp_dehierarchize(s, threads);
+  for (flat_index_t j = 0; j < s.size(); ++j)
+    EXPECT_NEAR(s[j], nodal[static_cast<std::size_t>(j)], 1e-12);
+}
+
+TEST_P(ThreadSweep, OmpEvaluateMatchesSequential) {
+  const int threads = GetParam();
+  const dim_t d = 3;
+  CompactStorage s(d, 5);
+  s.sample(workloads::oscillatory(d).f);
+  hierarchize(s);
+  const auto pts = workloads::uniform_points(d, 257, 31);
+  const auto seq = evaluate_many(s, pts);
+  const auto par = omp_evaluate_many(s, pts, threads);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t p = 0; p < pts.size(); ++p) EXPECT_EQ(par[p], seq[p]);
+}
+
+TEST_P(ThreadSweep, OmpRecursiveHierarchizationOverBaselines) {
+  const int threads = GetParam();
+  const dim_t d = 3;
+  const level_t n = 4;
+  const auto f = workloads::gaussian_bump(d);
+  CompactStorage ref(d, n);
+  ref.sample(f.f);
+  hierarchize(ref);
+
+  baselines::PrefixTreeStorage tree(d, n);
+  sample(tree, f.f);
+  omp_hierarchize_recursive(tree, threads);
+  baselines::EnhancedHashStorage hash(d, n);
+  sample(hash, f.f);
+  omp_hierarchize_recursive(hash, threads);
+
+  baselines::for_each_point(
+      ref.grid(), [&](const LevelVector& l, const IndexVector& i) {
+        EXPECT_NEAR(tree.get(l, i), ref.get(l, i), 1e-13);
+        EXPECT_NEAR(hash.get(l, i), ref.get(l, i), 1e-13);
+      });
+}
+
+TEST_P(ThreadSweep, OmpRecursiveEvaluationOverBaselines) {
+  const int threads = GetParam();
+  const dim_t d = 3;
+  CompactStorage s(d, 4);
+  s.sample(workloads::parabola_product(d).f);
+  hierarchize(s);
+  baselines::PrefixTreeStorage tree(d, 4);
+  sample(tree, workloads::parabola_product(d).f);
+  baselines::hierarchize_recursive(tree);
+  const auto pts = workloads::uniform_points(d, 100, 77);
+  const auto expected = evaluate_many(s, pts);
+  const auto got = omp_evaluate_many_recursive(tree, pts, threads);
+  for (std::size_t p = 0; p < pts.size(); ++p)
+    EXPECT_NEAR(got[p], expected[p], 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 3, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(Parallel, RepeatedRunsAreDeterministic) {
+  // Static decomposition writes each coefficient exactly once per pass, so
+  // results do not depend on scheduling.
+  const dim_t d = 4;
+  CompactStorage a(d, 4), b(d, 4);
+  a.sample(workloads::simulation_field(d).f);
+  b.sample(workloads::simulation_field(d).f);
+  omp_hierarchize(a, 4);
+  omp_hierarchize(b, 4);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(ParallelDeath, ZeroThreadsRejected) {
+  CompactStorage s(2, 3);
+  EXPECT_DEATH(omp_hierarchize(s, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace csg::parallel

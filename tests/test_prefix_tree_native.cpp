@@ -1,0 +1,110 @@
+// The native trie algorithms (Alg. 1/2 with child-pointer descent) must
+// agree with every other implementation in the library.
+#include "csg/baselines/prefix_tree_native.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csg/baselines/generic_algorithms.hpp"
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg::baselines {
+namespace {
+
+struct Case {
+  dim_t d;
+  level_t n;
+};
+
+class NativeTrieSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(NativeTrieSweep, NativeHierarchizationMatchesCompactReference) {
+  const auto [d, n] = GetParam();
+  const auto f = workloads::simulation_field(d);
+  CompactStorage ref(d, n);
+  ref.sample(f.f);
+  hierarchize(ref);
+
+  PrefixTreeStorage tree(d, n);
+  sample(tree, f.f);
+  hierarchize_native(tree);
+  for_each_point(ref.grid(), [&](const LevelVector& l, const IndexVector& i) {
+    ASSERT_NEAR(tree.get(l, i), ref.get(l, i), 1e-13);
+  });
+}
+
+TEST_P(NativeTrieSweep, NativeEvaluationMatchesCoreEvaluate) {
+  const auto [d, n] = GetParam();
+  const auto f = workloads::gaussian_bump(d);
+  CompactStorage ref(d, n);
+  ref.sample(f.f);
+  hierarchize(ref);
+  PrefixTreeStorage tree(d, n);
+  sample(tree, f.f);
+  hierarchize_native(tree);
+  for (const CoordVector& x : workloads::uniform_points(d, 120, 9))
+    ASSERT_NEAR(evaluate_native(tree, x), evaluate(ref, x), 1e-13);
+}
+
+TEST_P(NativeTrieSweep, NativeRoundTripRestoresNodalValues) {
+  const auto [d, n] = GetParam();
+  const auto f = workloads::oscillatory(d);
+  PrefixTreeStorage tree(d, n);
+  sample(tree, f.f);
+  hierarchize_native(tree);
+  dehierarchize_native(tree);
+  for_each_point(tree.grid(), [&](const LevelVector& l, const IndexVector& i) {
+    ASSERT_NEAR(tree.get(l, i), f(coordinates({l, i})), 1e-12);
+  });
+}
+
+TEST_P(NativeTrieSweep, NativeAndGenericRecursiveAgreeExactly) {
+  const auto [d, n] = GetParam();
+  const auto f = workloads::parabola_product(d);
+  PrefixTreeStorage native(d, n);
+  sample(native, f.f);
+  hierarchize_native(native);
+  PrefixTreeStorage generic(d, n);
+  sample(generic, f.f);
+  hierarchize_recursive(generic);
+  for_each_point(native.grid(),
+                 [&](const LevelVector& l, const IndexVector& i) {
+                   ASSERT_NEAR(native.get(l, i), generic.get(l, i), 1e-13);
+                 });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NativeTrieSweep,
+    ::testing::Values(Case{1, 6}, Case{2, 5}, Case{3, 4}, Case{4, 4},
+                      Case{5, 3}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return "d" + std::to_string(info.param.d) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(NativeTrie, LevelOfSlotDecodesHeapOrder) {
+  EXPECT_EQ(detail_trie::level_of_slot(0), 0u);
+  EXPECT_EQ(detail_trie::level_of_slot(1), 1u);
+  EXPECT_EQ(detail_trie::level_of_slot(2), 1u);
+  EXPECT_EQ(detail_trie::level_of_slot(3), 2u);
+  EXPECT_EQ(detail_trie::level_of_slot(6), 2u);
+  EXPECT_EQ(detail_trie::level_of_slot(7), 3u);
+}
+
+TEST(NativeTrie, EvaluationPrunesOnGridLines) {
+  PrefixTreeStorage tree(2, 5);
+  sample(tree, workloads::parabola_product(2).f);
+  hierarchize_native(tree);
+  CompactStorage ref(2, 5);
+  ref.sample(workloads::parabola_product(2).f);
+  hierarchize(ref);
+  for (const real_t x0 : {0.5, 0.25, 0.0, 1.0}) {
+    const CoordVector x{x0, 0.37};
+    EXPECT_NEAR(evaluate_native(tree, x), evaluate(ref, x), 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace csg::baselines

@@ -1,0 +1,158 @@
+#include "csg/regression/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg::regression {
+namespace {
+
+TEST(Regression, DesignOperatorMatchesEvaluate) {
+  CompactStorage s(3, 4);
+  s.sample(workloads::gaussian_bump(3).f);
+  hierarchize(s);
+  const auto pts = workloads::uniform_points(3, 40, 3);
+  const auto via_design = apply_design(s, pts);
+  for (std::size_t m = 0; m < pts.size(); ++m)
+    EXPECT_EQ(via_design[m], evaluate(s, pts[m]));
+}
+
+TEST(Regression, TransposedOperatorIsAdjoint) {
+  // <B a, r> == <a, B^T r> for random a and r — the defining property.
+  const dim_t d = 3;
+  const level_t n = 4;
+  RegularSparseGrid grid(d, n);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<real_t> dist(-1, 1);
+  CompactStorage a(d, n);
+  for (flat_index_t j = 0; j < a.size(); ++j) a[j] = dist(rng);
+  const auto pts = workloads::uniform_points(d, 60, 8);
+  std::vector<real_t> r(pts.size());
+  for (real_t& v : r) v = dist(rng);
+
+  const auto ba = apply_design(a, pts);
+  double lhs = 0;
+  for (std::size_t m = 0; m < pts.size(); ++m) lhs += ba[m] * r[m];
+
+  CompactStorage btr(d, n);
+  apply_design_transposed(grid, pts, r, btr);
+  double rhs = 0;
+  for (flat_index_t j = 0; j < a.size(); ++j) rhs += a[j] * btr[j];
+
+  EXPECT_NEAR(lhs, rhs, 1e-10 * (std::abs(lhs) + 1));
+}
+
+TEST(Regression, InterpolatesWhenDataComesFromTheGridItself) {
+  // If y = fs(x) for a sparse grid function fs of the same shape and the
+  // samples are plentiful, the fit recovers fs (up to the regularization).
+  const dim_t d = 2;
+  const level_t n = 4;
+  CompactStorage truth(d, n);
+  truth.sample(workloads::gaussian_bump(d).f);
+  hierarchize(truth);
+
+  const auto pts = workloads::halton_points(d, 800);
+  const auto vals = apply_design(truth, pts);
+  FitOptions opt;
+  opt.lambda = 1e-10;
+  opt.max_iterations = 500;
+  FitReport report;
+  const CompactStorage fitted = fit(d, n, pts, vals, opt, &report);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.training_mse, 1e-12);
+  for (const CoordVector& x : workloads::uniform_points(d, 100, 77))
+    EXPECT_NEAR(evaluate(fitted, x), evaluate(truth, x), 1e-4);
+}
+
+TEST(Regression, FitsNoisyDataBelowNoiseFloor) {
+  const dim_t d = 2;
+  const auto f = workloads::parabola_product(d);
+  std::mt19937_64 rng(11);
+  std::normal_distribution<real_t> noise(0, 0.02);
+  const auto pts = workloads::halton_points(d, 1500);
+  std::vector<real_t> vals(pts.size());
+  for (std::size_t m = 0; m < pts.size(); ++m)
+    vals[m] = f(pts[m]) + noise(rng);
+
+  FitOptions opt;
+  opt.lambda = 1e-5;
+  FitReport report;
+  const CompactStorage fitted = fit(d, 5, pts, vals, opt, &report);
+  // Training error ~ noise variance (4e-4), not much lower (no gross
+  // overfit) and not much higher (the model fits the signal).
+  EXPECT_LT(report.training_mse, 3 * 0.02 * 0.02);
+  // True-function error well below the noise level: the fit denoises.
+  const auto test_pts = workloads::uniform_points(d, 400, 31);
+  double err = 0;
+  for (const CoordVector& x : test_pts)
+    err = std::max(err, std::abs(evaluate(fitted, x) - f(x)));
+  EXPECT_LT(err, 0.05);
+}
+
+TEST(Regression, StrongerRegularizationShrinksCoefficients) {
+  const dim_t d = 2;
+  const auto f = workloads::oscillatory(d);
+  const auto pts = workloads::halton_points(d, 600);
+  std::vector<real_t> vals(pts.size());
+  for (std::size_t m = 0; m < pts.size(); ++m) vals[m] = f(pts[m]);
+
+  auto norm_for = [&](double lambda) {
+    FitOptions opt;
+    opt.lambda = lambda;
+    const CompactStorage fitted = fit(d, 5, pts, vals, opt);
+    double norm = 0;
+    for (flat_index_t j = 0; j < fitted.size(); ++j)
+      norm += fitted[j] * fitted[j];
+    return norm;
+  };
+  EXPECT_GT(norm_for(1e-8), norm_for(1e-2));
+  EXPECT_GT(norm_for(1e-2), norm_for(10.0));
+}
+
+TEST(Regression, HandlesMoreCoefficientsThanSamples) {
+  // Under-determined case: the regularized normal equations stay SPD and
+  // CG converges; the surrogate reproduces the few samples well.
+  const dim_t d = 3;
+  const level_t n = 4;  // 177 coefficients
+  const auto pts = workloads::halton_points(d, 40);
+  const auto f = workloads::gaussian_bump(d);
+  std::vector<real_t> vals(pts.size());
+  for (std::size_t m = 0; m < pts.size(); ++m) vals[m] = f(pts[m]);
+  FitOptions opt;
+  opt.lambda = 1e-6;
+  FitReport report;
+  const CompactStorage fitted = fit(d, n, pts, vals, opt, &report);
+  EXPECT_LT(report.training_mse, 1e-6);
+}
+
+TEST(Regression, ZeroTargetsGiveZeroCoefficients) {
+  const auto pts = workloads::uniform_points(2, 50, 2);
+  const std::vector<real_t> vals(pts.size(), 0.0);
+  FitReport report;
+  const CompactStorage fitted = fit(2, 4, pts, vals, {}, &report);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.iterations, 0);
+  for (flat_index_t j = 0; j < fitted.size(); ++j) EXPECT_EQ(fitted[j], 0.0);
+}
+
+TEST(Regression, MeanSquaredErrorDefinition) {
+  CompactStorage s(1, 2);  // zero function
+  const std::vector<CoordVector> pts = {CoordVector{0.25}, CoordVector{0.75}};
+  const std::vector<real_t> vals = {1.0, -2.0};
+  EXPECT_DOUBLE_EQ(mean_squared_error(s, pts, vals), (1.0 + 4.0) / 2);
+}
+
+TEST(RegressionDeath, MismatchedSampleArraysRejected) {
+  const auto pts = workloads::uniform_points(2, 10, 1);
+  const std::vector<real_t> vals(9, 0.0);
+  EXPECT_DEATH((void)fit(2, 3, pts, vals), "precondition");
+}
+
+}  // namespace
+}  // namespace csg::regression

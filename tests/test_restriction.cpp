@@ -1,0 +1,132 @@
+#include "csg/core/restriction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg {
+namespace {
+
+CompactStorage compressed(const workloads::TestFunction& f, dim_t d,
+                          level_t n) {
+  CompactStorage s(d, n);
+  s.sample(f.f);
+  hierarchize(s);
+  return s;
+}
+
+TEST(Restriction, EmbedInPlaneInterleavesCoordinates) {
+  const CoordVector full = embed_in_plane(
+      5, DimVector<dim_t>{1, 3}, CoordVector{0.1, 0.2, 0.3},
+      CoordVector{0.8, 0.9});
+  ASSERT_EQ(full.size(), 5u);
+  EXPECT_EQ(full[0], 0.1);  // dropped
+  EXPECT_EQ(full[1], 0.8);  // kept slot 0
+  EXPECT_EQ(full[2], 0.2);  // dropped
+  EXPECT_EQ(full[3], 0.9);  // kept slot 1
+  EXPECT_EQ(full[4], 0.3);  // dropped
+}
+
+struct Case {
+  dim_t d;
+  level_t n;
+  DimVector<dim_t> kept;
+};
+
+class RestrictionSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RestrictionSweep, RestrictedInterpolantEqualsFullOnThePlane) {
+  const auto& [d, n, kept] = GetParam();
+  const auto f = workloads::simulation_field(d);
+  const CompactStorage full = compressed(f, d, n);
+  CoordVector anchor(d - kept.size());
+  for (dim_t s = 0; s < anchor.size(); ++s)
+    anchor[s] = static_cast<real_t>(0.15 + 0.6 * s / (anchor.size()));
+  const CompactStorage restricted = restrict_to_plane(full, kept, anchor);
+  ASSERT_EQ(restricted.dim(), kept.size());
+  ASSERT_EQ(restricted.grid().level(), n);
+  for (const CoordVector& x :
+       workloads::uniform_points(kept.size(), 200, 55)) {
+    const CoordVector embedded = embed_in_plane(d, kept, anchor, x);
+    EXPECT_NEAR(evaluate(restricted, x), evaluate(full, embedded), 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RestrictionSweep,
+    ::testing::Values(Case{2, 5, {0}}, Case{3, 5, {1}}, Case{3, 5, {0, 2}},
+                      Case{4, 4, {1, 2}}, Case{5, 4, {0, 4}},
+                      Case{5, 4, {0, 1, 2, 3}}, Case{6, 3, {2, 3, 5}}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = "d" + std::to_string(info.param.d) + "n" +
+                         std::to_string(info.param.n) + "k";
+      for (dim_t t : info.param.kept) name += std::to_string(t);
+      return name;
+    });
+
+TEST(Restriction, AnchorOnGridLineStillExact) {
+  // Anchor exactly on a coarse grid coordinate: many weights vanish; the
+  // identity must still hold.
+  const CompactStorage full = compressed(workloads::gaussian_bump(3), 3, 5);
+  const CompactStorage slice =
+      restrict_to_plane(full, DimVector<dim_t>{0, 1}, CoordVector{0.5});
+  for (const CoordVector& x : workloads::uniform_points(2, 100, 4)) {
+    EXPECT_NEAR(evaluate(slice, x),
+                evaluate(full, CoordVector{x[0], x[1], 0.5}), 1e-13);
+  }
+}
+
+TEST(Restriction, AnchorOnBoundaryGivesZeroFunction) {
+  const CompactStorage full = compressed(workloads::parabola_product(3), 3, 4);
+  const CompactStorage slice =
+      restrict_to_plane(full, DimVector<dim_t>{0, 1}, CoordVector{0.0});
+  for (flat_index_t j = 0; j < slice.size(); ++j) EXPECT_EQ(slice[j], 0.0);
+}
+
+TEST(Restriction, LineProbeRestriction) {
+  // Keep a single dimension: the result is a 1d sparse (= full binary)
+  // grid representing the field along the probe line.
+  const dim_t d = 4;
+  const CompactStorage full = compressed(workloads::oscillatory(d), d, 5);
+  const CoordVector anchor{0.3, 0.45, 0.62};
+  const CompactStorage line =
+      restrict_to_plane(full, DimVector<dim_t>{2}, anchor);
+  ASSERT_EQ(line.dim(), 1u);
+  for (real_t x0 : {0.05, 0.31, 0.5, 0.77, 0.99}) {
+    EXPECT_NEAR(evaluate(line, CoordVector{x0}),
+                evaluate(full, CoordVector{0.3, 0.45, x0, 0.62}), 1e-13);
+  }
+}
+
+TEST(Restriction, RepeatedRestrictionComposes) {
+  // Restricting 4d -> 2d directly equals restricting 4d -> 3d -> 2d.
+  const CompactStorage full = compressed(workloads::simulation_field(4), 4, 4);
+  const CompactStorage direct = restrict_to_plane(
+      full, DimVector<dim_t>{0, 2}, CoordVector{0.35, 0.8});
+  const CompactStorage step1 = restrict_to_plane(
+      full, DimVector<dim_t>{0, 2, 3}, CoordVector{0.35});
+  const CompactStorage step2 =
+      restrict_to_plane(step1, DimVector<dim_t>{0, 1}, CoordVector{0.8});
+  ASSERT_EQ(direct.size(), step2.size());
+  for (flat_index_t j = 0; j < direct.size(); ++j)
+    EXPECT_NEAR(direct[j], step2[j], 1e-13);
+}
+
+TEST(RestrictionDeath, InvalidArgumentsRejected) {
+  const CompactStorage full = compressed(workloads::parabola_product(3), 3, 3);
+  EXPECT_DEATH(restrict_to_plane(full, DimVector<dim_t>{0, 1, 2},
+                                 CoordVector{}),
+               "precondition");  // must drop at least one dim
+  EXPECT_DEATH(restrict_to_plane(full, DimVector<dim_t>{1, 0},
+                                 CoordVector{0.5}),
+               "precondition");  // not increasing
+  EXPECT_DEATH(restrict_to_plane(full, DimVector<dim_t>{0},
+                                 CoordVector{0.5}),
+               "precondition");  // anchor size mismatch
+}
+
+}  // namespace
+}  // namespace csg

@@ -1,0 +1,106 @@
+#include "csg/memsim/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csg::memsim {
+namespace {
+
+TEST(Scaling, PureComputeScalesLinearly) {
+  const MachineSpec m = opteron_8356();
+  const auto curve = speedup_curve(m, 100.0, 0.0);
+  ASSERT_EQ(curve.size(), 32u);
+  for (int t = 1; t <= 32; ++t)
+    EXPECT_DOUBLE_EQ(curve[static_cast<std::size_t>(t - 1)], t);
+}
+
+TEST(Scaling, BandwidthBoundWorkloadSaturates) {
+  const MachineSpec m = opteron_8356();
+  // 10 DRAM lines per op, negligible compute: the ceiling is
+  // B / (m*line) vs single-thread rate 1/(m*L).
+  const auto curve = speedup_curve(m, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(curve[0], 1.0);
+  // ceiling = (B/(m*line)) / (1/(m*L)) = B*L/line ~ 7e9 B/s * 110e-9 s / 64.
+  const double ceiling = 7.0 * 110.0 / 64.0;  // GB/s * ns / B = ratio
+  EXPECT_NEAR(curve.back(), ceiling, 1e-9);
+  EXPECT_LT(curve.back(), 32.0);
+  // And the curve is flat once saturated.
+  EXPECT_DOUBLE_EQ(curve[31], curve[30]);
+}
+
+TEST(Scaling, CurveIsMonotoneNonDecreasing) {
+  for (double misses : {0.0, 0.5, 2.0, 20.0}) {
+    const auto curve = speedup_curve(nehalem_e5540(), 50.0, misses);
+    for (std::size_t k = 1; k < curve.size(); ++k)
+      EXPECT_GE(curve[k], curve[k - 1]) << "misses=" << misses;
+  }
+}
+
+TEST(Scaling, FirstEntryIsAlwaysOne) {
+  for (double c : {0.0, 10.0, 1000.0})
+    for (double misses : {0.01, 1.0, 50.0})
+      EXPECT_DOUBLE_EQ(speedup_curve(opteron_8356(), c, misses)[0], 1.0);
+}
+
+TEST(Scaling, LowerMissRateScalesFurther) {
+  // The Fig. 11a effect: the compact structure (few misses/op) outgrows the
+  // map (many misses/op) on the same machine.
+  const MachineSpec m = opteron_8356();
+  const auto compact = speedup_curve(m, 200.0, 0.2);
+  const auto map = speedup_curve(m, 200.0, 8.0);
+  EXPECT_GT(compact.back(), 30.0);
+  EXPECT_LT(map.back(), 16.0);
+  EXPECT_GT(compact.back(), map.back());
+}
+
+TEST(Scaling, ComputeHeavyWorkloadsDelaySaturation) {
+  const MachineSpec m = opteron_8356();
+  const auto lean = speedup_curve(m, 10.0, 4.0);
+  const auto heavy = speedup_curve(m, 4000.0, 4.0);
+  EXPECT_GE(heavy.back(), lean.back());
+}
+
+TEST(Scaling, SerialFractionCapsViaAmdahl) {
+  const MachineSpec m = opteron_8356();
+  // No memory traffic, 1% serial work: the classic Amdahl ceiling.
+  const auto curve = speedup_curve(m, 100.0, 0.0, 0.01);
+  EXPECT_NEAR(curve.back(), 1.0 / (0.01 + 0.99 / 32.0), 1e-12);
+  EXPECT_LT(curve.back(), 32.0);
+  // Zero serial fraction reproduces the linear curve.
+  EXPECT_DOUBLE_EQ(speedup_curve(m, 100.0, 0.0, 0.0).back(), 32.0);
+}
+
+TEST(Scaling, SerialFractionComposesWithBandwidthCeiling) {
+  const MachineSpec m = opteron_8356();
+  const auto bw_only = speedup_curve(m, 0.0, 10.0, 0.0);
+  const auto both = speedup_curve(m, 0.0, 10.0, 0.05);
+  for (std::size_t k = 0; k < both.size(); ++k)
+    EXPECT_LE(both[k], bw_only[k] + 1e-12);
+}
+
+TEST(ScalingDeath, InvalidSerialFractionRejected) {
+  EXPECT_DEATH(speedup_curve(opteron_8356(), 1.0, 1.0, 1.0), "precondition");
+}
+
+TEST(Scaling, MachinePresetsAreSane) {
+  EXPECT_EQ(opteron_8356().cores, 32);
+  EXPECT_EQ(nehalem_e5540().cores, 8);
+  EXPECT_EQ(nehalem_i7_920().cores, 4);
+  EXPECT_GT(nehalem_e5540().bandwidth_gbs, opteron_8356().bandwidth_gbs / 2);
+}
+
+TEST(Scaling, LocalityProfileDerivedRates) {
+  LocalityProfile p;
+  p.operations = 100;
+  p.accesses = 1000;
+  p.l1_misses = 100;
+  p.dram_lines = 50;
+  EXPECT_DOUBLE_EQ(p.accesses_per_op(), 10.0);
+  EXPECT_DOUBLE_EQ(p.dram_lines_per_op(), 0.5);
+  EXPECT_DOUBLE_EQ(p.l1_miss_rate(), 0.1);
+  const LocalityProfile empty;
+  EXPECT_DOUBLE_EQ(empty.accesses_per_op(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.l1_miss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace csg::memsim

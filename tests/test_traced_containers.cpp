@@ -1,0 +1,148 @@
+#include "csg/memsim/traced_containers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace csg::memsim {
+namespace {
+
+const auto kNoTouch = [](std::uint64_t, std::size_t) {};
+
+TEST(TracedAvlMap, InsertFindUpdate) {
+  TracedAvlMap<int, double> m;
+  m.insert_or_assign(5, 1.5, kNoTouch);
+  m.insert_or_assign(3, 2.5, kNoTouch);
+  m.insert_or_assign(8, 3.5, kNoTouch);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(*m.find(5, kNoTouch), 1.5);
+  EXPECT_DOUBLE_EQ(*m.find(3, kNoTouch), 2.5);
+  EXPECT_EQ(m.find(4, kNoTouch), nullptr);
+  m.insert_or_assign(5, -1.0, kNoTouch);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(*m.find(5, kNoTouch), -1.0);
+}
+
+TEST(TracedAvlMap, AgreesWithStdMapUnderRandomWorkload) {
+  TracedAvlMap<std::uint64_t, double> mine(4096);
+  std::map<std::uint64_t, double> ref;
+  std::mt19937_64 rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng() % 3000;
+    if (op % 3 != 2) {
+      const double v = static_cast<double>(rng() % 1000);
+      mine.insert_or_assign(key, v, kNoTouch);
+      ref[key] = v;
+    } else {
+      const double* mv = mine.find(key, kNoTouch);
+      const auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(mv, nullptr);
+      } else {
+        ASSERT_NE(mv, nullptr);
+        EXPECT_EQ(*mv, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(mine.size(), ref.size());
+}
+
+TEST(TracedAvlMap, HeightStaysLogarithmic) {
+  TracedAvlMap<int, int> m(1 << 14);
+  for (int k = 0; k < (1 << 14); ++k) m.insert_or_assign(k, k, kNoTouch);
+  // AVL bound: height <= 1.44 log2(n+2).
+  EXPECT_LE(m.height(), static_cast<int>(1.45 * std::log2((1 << 14) + 2)) + 1);
+}
+
+TEST(TracedAvlMap, SortedInsertionStillBalanced) {
+  // The degenerate case an unbalanced BST would fail.
+  TracedAvlMap<int, int> m(1024);
+  for (int k = 0; k < 1024; ++k) m.insert_or_assign(k, k, kNoTouch);
+  std::size_t touches = 0;
+  auto counter = [&](std::uint64_t, std::size_t) { ++touches; };
+  m.find(1023, counter);
+  EXPECT_LE(touches, 15u);  // ~log2(1024) + slack, not 1024
+}
+
+TEST(TracedAvlMap, FindTouchesEveryVisitedNode) {
+  TracedAvlMap<int, int> m;
+  for (int k = 0; k < 100; ++k) m.insert_or_assign(k, k, kNoTouch);
+  std::size_t touches = 0;
+  m.find(37, [&](std::uint64_t addr, std::size_t bytes) {
+    EXPECT_NE(addr, 0u);
+    EXPECT_GT(bytes, 0u);
+    ++touches;
+  });
+  EXPECT_GE(touches, 1u);
+  EXPECT_LE(touches, 8u);  // height of a 100-node AVL tree
+}
+
+TEST(TracedAvlMap, MemoryBytesGrowWithContent) {
+  TracedAvlMap<int, double> m(128);
+  const std::size_t before = m.memory_bytes();
+  for (int k = 0; k < 128; ++k) m.insert_or_assign(k, 0.0, kNoTouch);
+  EXPECT_GE(m.memory_bytes(), before);
+  EXPECT_GE(m.memory_bytes(), 128 * (sizeof(int) + sizeof(double)));
+}
+
+TEST(TracedHashMap, InsertFindUpdate) {
+  TracedHashMap<std::uint64_t, double> m(64);
+  m.insert_or_assign(10, 1.0, kNoTouch);
+  m.insert_or_assign(74, 2.0, kNoTouch);  // same bucket mod 64
+  EXPECT_DOUBLE_EQ(*m.find(10, kNoTouch), 1.0);
+  EXPECT_DOUBLE_EQ(*m.find(74, kNoTouch), 2.0);
+  EXPECT_EQ(m.find(11, kNoTouch), nullptr);
+  m.insert_or_assign(10, 9.0, kNoTouch);
+  EXPECT_DOUBLE_EQ(*m.find(10, kNoTouch), 9.0);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(TracedHashMap, AgreesWithUnorderedMapUnderRandomWorkload) {
+  TracedHashMap<std::uint64_t, double> mine(4096);
+  std::unordered_map<std::uint64_t, double> ref;
+  std::mt19937_64 rng(7);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng() % 2500;
+    if (op % 3 != 2) {
+      const double v = static_cast<double>(rng() % 1000);
+      mine.insert_or_assign(key, v, kNoTouch);
+      ref[key] = v;
+    } else {
+      const double* mv = mine.find(key, kNoTouch);
+      const auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(mv, nullptr);
+      } else {
+        ASSERT_NE(mv, nullptr);
+        EXPECT_EQ(*mv, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(mine.size(), ref.size());
+}
+
+TEST(TracedHashMap, ChainsStayShortAtDesignLoadFactor) {
+  TracedHashMap<std::uint64_t, int> m(10000);
+  std::mt19937_64 rng(13);
+  for (int k = 0; k < 10000; ++k) m.insert_or_assign(rng(), k, kNoTouch);
+  EXPECT_LE(m.max_chain(), 10u);
+}
+
+TEST(TracedHashMap, FindTouchesBucketThenChain) {
+  TracedHashMap<std::uint64_t, int> m(16);
+  m.insert_or_assign(1, 1, kNoTouch);
+  std::size_t touches = 0;
+  m.find(1, [&](std::uint64_t, std::size_t) { ++touches; });
+  EXPECT_EQ(touches, 2u);  // bucket head + one node
+}
+
+TEST(TracedHashMap, MemoryIncludesBucketArray) {
+  TracedHashMap<std::uint64_t, double> m(1000);
+  EXPECT_GE(m.memory_bytes(), 1024 * sizeof(std::uint32_t));
+}
+
+}  // namespace
+}  // namespace csg::memsim

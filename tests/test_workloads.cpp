@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csg/core/regular_grid.hpp"
+#include "csg/workloads/full_grid.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg::workloads {
+namespace {
+
+TEST(Functions, ZeroBoundarySuiteVanishesOnBoundary) {
+  const dim_t d = 3;
+  for (const TestFunction& f : zero_boundary_suite(d)) {
+    ASSERT_TRUE(f.zero_boundary) << f.name;
+    for (dim_t t = 0; t < d; ++t) {
+      for (real_t edge : {0.0, 1.0}) {
+        CoordVector x{0.3, 0.6, 0.9};
+        x[t] = edge;
+        EXPECT_NEAR(f(x), 0.0, 1e-14) << f.name << " dim " << t;
+      }
+    }
+  }
+}
+
+TEST(Functions, ParabolaPeaksAtCenter) {
+  const auto f = parabola_product(4);
+  EXPECT_DOUBLE_EQ(f(CoordVector{0.5, 0.5, 0.5, 0.5}), 1.0);
+  EXPECT_LT(f(CoordVector{0.3, 0.5, 0.5, 0.5}), 1.0);
+}
+
+TEST(Functions, BoundaryPolynomialIsNonZeroOnBoundary) {
+  const auto f = boundary_polynomial(2);
+  EXPECT_FALSE(f.zero_boundary);
+  EXPECT_DOUBLE_EQ(f(CoordVector{0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(f(CoordVector{1.0, 1.0}), 1.0 + 1.0 + 2.0);
+}
+
+TEST(Functions, SuiteNamesAreUnique) {
+  std::set<std::string> names;
+  for (const TestFunction& f : zero_boundary_suite(5))
+    EXPECT_TRUE(names.insert(f.name).second) << f.name;
+}
+
+TEST(Sampling, UniformPointsDeterministicGivenSeed) {
+  const auto a = uniform_points(4, 50, 123);
+  const auto b = uniform_points(4, 50, 123);
+  const auto c = uniform_points(4, 50, 124);
+  EXPECT_EQ(a.size(), 50u);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  EXPECT_FALSE(std::equal(a.begin(), a.end(), c.begin()));
+}
+
+TEST(Sampling, UniformPointsInUnitCube) {
+  for (const CoordVector& p : uniform_points(6, 200, 7)) {
+    ASSERT_EQ(p.size(), 6u);
+    for (real_t x : p) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(Sampling, HaltonPointsAreLowDiscrepancy) {
+  // Every axis-aligned half must receive roughly half the points.
+  const dim_t d = 5;
+  const auto pts = halton_points(d, 1000);
+  for (dim_t t = 0; t < d; ++t) {
+    int low = 0;
+    for (const CoordVector& p : pts)
+      if (p[t] < 0.5) ++low;
+    EXPECT_NEAR(low, 500, 40) << "dim " << t;
+  }
+}
+
+TEST(Sampling, HaltonPointsDistinct) {
+  const auto pts = halton_points(3, 200);
+  for (std::size_t a = 0; a < pts.size(); ++a)
+    for (std::size_t b = a + 1; b < pts.size(); ++b)
+      EXPECT_FALSE(pts[a] == pts[b]) << a << " vs " << b;
+}
+
+TEST(Sampling, SlicePointsSpanThePlane) {
+  const CoordVector anchor{0.5, 0.5, 0.25, 0.75};
+  const auto pts = slice_points(anchor, 1, 3, 8, 5);
+  ASSERT_EQ(pts.size(), 40u);
+  // Non-slice coordinates pinned to the anchor.
+  for (const CoordVector& p : pts) {
+    EXPECT_EQ(p[0], 0.5);
+    EXPECT_EQ(p[2], 0.25);
+  }
+  // Corners cover the full [0,1] range of the slice dims.
+  EXPECT_EQ(pts.front()[1], 0.0);
+  EXPECT_EQ(pts.front()[3], 0.0);
+  EXPECT_EQ(pts.back()[1], 1.0);
+  EXPECT_EQ(pts.back()[3], 1.0);
+}
+
+TEST(FullGrid, SizeAndCoordinates) {
+  FullGrid fg(2, 3);
+  EXPECT_EQ(fg.points_per_dim(), 7u);
+  EXPECT_EQ(fg.num_points(), 49u);
+  const CoordVector x = fg.coordinates(DimVector<std::size_t>{1, 4});
+  EXPECT_DOUBLE_EQ(x[0], 0.125);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+}
+
+TEST(FullGrid, SampleThenReadBack) {
+  FullGrid fg(2, 3);
+  fg.sample([](const CoordVector& x) { return x[0] * 100 + x[1]; });
+  const DimVector<std::size_t> k{3, 5};
+  const CoordVector x = fg.coordinates(k);
+  EXPECT_DOUBLE_EQ(fg.at(k), x[0] * 100 + x[1]);
+}
+
+TEST(FullGrid, SparsePointLookupAgreesWithDirectEvaluation) {
+  // Every sparse grid point of level <= n lies on the full grid; the value
+  // fetched by value_at_sparse_point must be the sampled one.
+  const dim_t d = 3;
+  const level_t n = 4;
+  FullGrid fg(d, n);
+  auto f = [](const CoordVector& x) { return x[0] + 3 * x[1] - x[2]; };
+  fg.sample(f);
+  RegularSparseGrid g(d, n);
+  for (flat_index_t j = 0; j < g.num_points(); ++j) {
+    const GridPoint gp = g.idx2gp(j);
+    EXPECT_DOUBLE_EQ(fg.value_at_sparse_point(gp), f(coordinates(gp)));
+  }
+}
+
+TEST(FullGrid, CompressionRatioMatchesCurseOfDimensionality) {
+  // The motivating numbers: full grid N^d vs sparse O(N log^{d-1} N).
+  const level_t n = 5;
+  const FullGrid fg(3, n);
+  const RegularSparseGrid sg(3, n);
+  EXPECT_GT(fg.num_points(), 10 * sg.num_points());
+}
+
+TEST(FullGridDeath, RejectsGridsThatCannotFit) {
+  EXPECT_DEATH(FullGrid(10, 10), "precondition");
+}
+
+}  // namespace
+}  // namespace csg::workloads

@@ -1,0 +1,248 @@
+// csgtool — command-line front end for compact sparse grid files (.csg).
+//
+// The Fig. 1 pipeline as a shell workflow:
+//
+//   csgtool create --dims 4 --level 7 --function simulation_field -o f.csg
+//   csgtool info f.csg
+//   csgtool eval f.csg 0.3 0.5 0.2 0.9
+//   csgtool integrate f.csg
+//   csgtool slice f.csg --dimx 0 --dimy 1 --anchor 0.5 --pgm slice.pgm
+//
+// `create` samples one of the built-in test functions (stand-ins for a
+// simulation code's output) and stores the hierarchized coefficients;
+// `slice` decompresses an axis-aligned 2d slice to a PGM image or an
+// ASCII preview — the visualization front-end's per-frame request.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "csg/core.hpp"
+#include "csg/io/serialize.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace {
+
+using namespace csg;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  csgtool create --dims D --level N --function NAME -o F.csg\n"
+               "  csgtool info F.csg\n"
+               "  csgtool eval F.csg x1 ... xd\n"
+               "  csgtool integrate F.csg\n"
+               "  csgtool slice F.csg [--dimx A] [--dimy B] [--anchor V]\n"
+               "                      [--width W] [--height H] [--pgm OUT]\n"
+               "  csgtool compress F.csg --epsilon E -o F.csgt\n"
+               "  csgtool restrict F.csg --keep A,B[,...] --anchor V -o G.csg\n"
+               "functions: parabola_product gaussian_bump oscillatory\n"
+               "           coarse_dlinear simulation_field\n");
+  return 2;
+}
+
+const char* flag_value(int argc, char** argv, const char* flag,
+                       const char* fallback) {
+  for (int k = 0; k + 1 < argc; ++k)
+    if (std::strcmp(argv[k], flag) == 0) return argv[k + 1];
+  return fallback;
+}
+
+int cmd_create(int argc, char** argv) {
+  const auto d = static_cast<dim_t>(std::atoi(flag_value(argc, argv, "--dims", "3")));
+  const auto n =
+      static_cast<level_t>(std::atoi(flag_value(argc, argv, "--level", "6")));
+  const std::string name = flag_value(argc, argv, "--function", "simulation_field");
+  const std::string out = flag_value(argc, argv, "-o", "grid.csg");
+  if (d < 1 || d > kMaxDim || n < 1 || n > kMaxLevel) return usage();
+
+  const workloads::TestFunction* chosen = nullptr;
+  const auto suite = workloads::zero_boundary_suite(d);
+  for (const auto& f : suite)
+    if (f.name == name) chosen = &f;
+  if (chosen == nullptr) {
+    std::fprintf(stderr, "csgtool: unknown function '%s'\n", name.c_str());
+    return usage();
+  }
+
+  CompactStorage storage(d, n);
+  storage.sample(chosen->f);
+  hierarchize(storage);
+  io::save_file(storage, out);
+  std::printf("wrote %s: d=%u level=%u, %llu points, %zu bytes\n",
+              out.c_str(), d, n,
+              static_cast<unsigned long long>(storage.size()),
+              io::serialized_bytes(storage));
+  return 0;
+}
+
+int cmd_info(const char* path) {
+  const CompactStorage s = io::load_file(path);
+  const RegularSparseGrid& g = s.grid();
+  std::printf("%s:\n", path);
+  std::printf("  dimension        %u\n", g.dim());
+  std::printf("  level            %u\n", g.level());
+  std::printf("  points           %llu\n",
+              static_cast<unsigned long long>(g.num_points()));
+  std::printf("  memory           %.3f MB\n",
+              static_cast<double>(s.memory_bytes()) / 1e6);
+  std::printf("  integral         %.6g\n", integrate(s));
+  std::printf("  max |surplus| per level group:\n");
+  const auto per_group = max_surplus_per_group(s);
+  for (level_t j = 0; j < g.level(); ++j)
+    std::printf("    |l|=%u  %12.4e   (%llu subspaces, %llu points)\n", j,
+                per_group[j],
+                static_cast<unsigned long long>(g.subspaces_in_group(j)),
+                static_cast<unsigned long long>(g.group_size(j)));
+  return 0;
+}
+
+int cmd_eval(const char* path, int coords_argc, char** coords_argv) {
+  const CompactStorage s = io::load_file(path);
+  if (static_cast<dim_t>(coords_argc) != s.grid().dim()) {
+    std::fprintf(stderr, "csgtool: expected %u coordinates\n", s.grid().dim());
+    return 2;
+  }
+  CoordVector x(s.grid().dim());
+  for (dim_t t = 0; t < x.size(); ++t) {
+    x[t] = std::atof(coords_argv[t]);
+    if (x[t] < 0 || x[t] > 1) {
+      std::fprintf(stderr, "csgtool: coordinates must be in [0,1]\n");
+      return 2;
+    }
+  }
+  const ValueAndGradient vg = evaluate_with_gradient(s, x);
+  std::printf("value    %.12g\n", vg.value);
+  std::printf("gradient");
+  for (dim_t t = 0; t < x.size(); ++t) std::printf(" %.6g", vg.gradient[t]);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_integrate(const char* path) {
+  const CompactStorage s = io::load_file(path);
+  std::printf("%.12g\n", integrate(s));
+  return 0;
+}
+
+int cmd_compress(const char* path, int argc, char** argv) {
+  const CompactStorage s = io::load_file(path);
+  const real_t eps = std::atof(flag_value(argc, argv, "--epsilon", "1e-4"));
+  const std::string out = flag_value(argc, argv, "-o", "grid.csgt");
+  if (eps < 0) return usage();
+  const TruncatedStorage t(s, eps);
+  io::save_file(t, out);
+  std::printf("wrote %s: kept %zu of %llu coefficients (%.1f%% of dense "
+              "payload), guaranteed max error %.3e\n",
+              out.c_str(), t.kept_count(),
+              static_cast<unsigned long long>(s.size()),
+              t.payload_ratio() * 100, t.error_bound());
+  return 0;
+}
+
+int cmd_restrict(const char* path, int argc, char** argv) {
+  const CompactStorage s = io::load_file(path);
+  const dim_t d = s.grid().dim();
+  const std::string keep_spec = flag_value(argc, argv, "--keep", "0,1");
+  const real_t anchor_value = std::atof(flag_value(argc, argv, "--anchor", "0.5"));
+  const std::string out = flag_value(argc, argv, "-o", "slice.csg");
+
+  DimVector<dim_t> kept;
+  for (std::size_t pos = 0; pos < keep_spec.size();) {
+    const std::size_t comma = keep_spec.find(',', pos);
+    const std::string tok = keep_spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    kept.push_back(static_cast<dim_t>(std::atoi(tok.c_str())));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (kept.empty() || kept.size() >= d) return usage();
+  for (dim_t k = 0; k < kept.size(); ++k)
+    if (kept[k] >= d || (k > 0 && kept[k] <= kept[k - 1])) return usage();
+  if (anchor_value < 0 || anchor_value > 1) return usage();
+
+  const CompactStorage slice = restrict_to_plane(
+      s, kept, CoordVector(d - kept.size(), anchor_value));
+  io::save_file(slice, out);
+  std::printf("wrote %s: restricted %u-d grid to the %u kept dimension(s) "
+              "at anchor %.3f (%llu -> %llu points)\n",
+              out.c_str(), d, kept.size(), anchor_value,
+              static_cast<unsigned long long>(s.size()),
+              static_cast<unsigned long long>(slice.size()));
+  return 0;
+}
+
+int cmd_slice(const char* path, int argc, char** argv) {
+  const CompactStorage s = io::load_file(path);
+  const dim_t d = s.grid().dim();
+  const auto dim_x = static_cast<dim_t>(std::atoi(flag_value(argc, argv, "--dimx", "0")));
+  const auto dim_y = static_cast<dim_t>(std::atoi(flag_value(argc, argv, "--dimy", "1")));
+  const real_t anchor = std::atof(flag_value(argc, argv, "--anchor", "0.5"));
+  const auto width = static_cast<std::size_t>(
+      std::atoi(flag_value(argc, argv, "--width", "64")));
+  const auto height = static_cast<std::size_t>(
+      std::atoi(flag_value(argc, argv, "--height", "32")));
+  const char* pgm = flag_value(argc, argv, "--pgm", nullptr);
+  if (d < 2 || dim_x >= d || dim_y >= d || dim_x == dim_y) return usage();
+
+  const auto pts = workloads::slice_points(CoordVector(d, anchor), dim_x,
+                                           dim_y, width, height);
+  const auto values = evaluate_many_blocked(s, pts, 64);
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const real_t lo = *lo_it, hi = *hi_it;
+  const real_t span = hi > lo ? hi - lo : real_t{1};
+
+  if (pgm != nullptr) {
+    std::ofstream out(pgm, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "csgtool: cannot open %s\n", pgm);
+      return 1;
+    }
+    out << "P5\n" << width << " " << height << "\n255\n";
+    for (std::size_t r = height; r-- > 0;)
+      for (std::size_t c = 0; c < width; ++c) {
+        const auto byte = static_cast<unsigned char>(
+            (values[r * width + c] - lo) / span * 255.0);
+        out.put(static_cast<char>(byte));
+      }
+    std::printf("wrote %s (%zux%zu, range [%.4g, %.4g])\n", pgm, width,
+                height, lo, hi);
+  } else {
+    static const char* shades = " .:-=+*#%@";
+    for (std::size_t r = height; r-- > 0;) {
+      for (std::size_t c = 0; c < width; ++c) {
+        const real_t t = (values[r * width + c] - lo) / span;
+        std::putchar(shades[static_cast<int>(t * 9.999)]);
+      }
+      std::putchar('\n');
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "create") return cmd_create(argc - 2, argv + 2);
+    if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
+    if (cmd == "eval" && argc >= 3)
+      return cmd_eval(argv[2], argc - 3, argv + 3);
+    if (cmd == "integrate" && argc >= 3) return cmd_integrate(argv[2]);
+    if (cmd == "slice" && argc >= 3)
+      return cmd_slice(argv[2], argc - 3, argv + 3);
+    if (cmd == "compress" && argc >= 3)
+      return cmd_compress(argv[2], argc - 3, argv + 3);
+    if (cmd == "restrict" && argc >= 3)
+      return cmd_restrict(argv[2], argc - 3, argv + 3);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "csgtool: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
