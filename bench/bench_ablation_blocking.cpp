@@ -8,11 +8,15 @@
 // The harness measures plain per-point evaluation against the blocked
 // variant over a range of block sizes, on a grid sized to exceed L2, and
 // cross-checks the effect with the cache simulator's measured misses.
+#include <algorithm>
+#include <thread>
+
 #include "bench_common.hpp"
 #include "csg/baselines/generic_algorithms.hpp"
 #include "csg/core/evaluate.hpp"
 #include "csg/core/hierarchize.hpp"
 #include "csg/memsim/traced_storages.hpp"
+#include "csg/parallel/omp_algorithms.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
 
@@ -44,15 +48,32 @@ int main(int argc, char** argv) {
               static_cast<double>(storage.size()) * 8 / 1e6, points);
 
   const auto pts = workloads::uniform_points(d, points, 21);
+  const std::span<const real_t> coeffs(storage.data(),
+                                       storage.values().size());
+  // Pre-plan walk (first_level/advance_level per subspace per point) as the
+  // historical baseline, then the plan-based unblocked and blocked paths.
+  const double walk_s = csg::bench::time_s([&] {
+    for (const CoordVector& x : pts)
+      (void)evaluate_span_walk(storage.grid(), coeffs, x);
+  });
+  std::printf("%-18s %10.4f s   (%.2fx)\n", "iterator walk", walk_s, 1.0);
   const double plain_s =
       csg::bench::time_s([&] { (void)evaluate_many(storage, pts); });
-  std::printf("%-18s %10.4f s   (1.00x)\n", "unblocked", plain_s);
+  std::printf("%-18s %10.4f s   (%.2fx)\n", "plan unblocked", plain_s,
+              walk_s / plain_s);
   for (std::size_t block : {16u, 64u, 256u, 1024u}) {
     const double s = csg::bench::time_s(
         [&] { (void)evaluate_many_blocked(storage, pts, block); });
     std::printf("block size %-7zu %10.4f s   (%.2fx)\n", block, s,
-                plain_s / s);
+                walk_s / s);
   }
+  const int host_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const double omp_s = csg::bench::time_s([&] {
+    (void)parallel::omp_evaluate_many_blocked(storage, pts, 64, host_threads);
+  });
+  std::printf("omp blocked (B=64, %2d thr) %10.4f s   (%.2fx)\n",
+              host_threads, omp_s, walk_s / omp_s);
 
   std::printf("\n(note: wall-clock gains depend on the coefficient array "
               "exceeding this host's last-level cache; on machines with "

@@ -36,6 +36,7 @@ struct SpeedupRow {
   double nehalem8;
   double nehalem4;
   double omp_here;
+  double omp_blocked_here = 0;  // eval only: plan-based omp blocked path
 };
 
 /// Locality-driven modeled speedup at the machine's full core count for a
@@ -119,6 +120,10 @@ int main(int argc, char** argv) {
         [&] { parallel::omp_hierarchize(par, host_threads); });
     const double eval_omp_s = csg::bench::time_s(
         [&] { (void)parallel::omp_evaluate_many(par, pts, host_threads); });
+    // Plan-based blocked path: threads over point blocks, shared plan.
+    const double eval_ompblk_s = csg::bench::time_s([&] {
+      (void)parallel::omp_evaluate_many_blocked(par, pts, 64, host_threads);
+    });
 
     hier_rows.push_back(
         {hier_seq_s / (gh.modeled_ms / 1e3),
@@ -137,26 +142,31 @@ int main(int argc, char** argv) {
                          eval_prof.dram_lines_per_op(), kEvalSerial),
          modeled_speedup(memsim::nehalem_i7_920(), eval_ns_per_op,
                          eval_prof.dram_lines_per_op(), kEvalSerial),
-         eval_seq_s / eval_omp_s});
+         eval_seq_s / eval_omp_s, eval_seq_s / eval_ompblk_s});
   }
 
   auto print_table = [&](const char* title,
-                         const std::vector<SpeedupRow>& rows) {
+                         const std::vector<SpeedupRow>& rows,
+                         bool with_blocked) {
     std::printf("%s\n", title);
-    std::printf("%-6s %14s %18s %18s %18s %14s\n", "d", "Tesla (model)",
+    std::printf("%-6s %14s %18s %18s %18s %14s%s\n", "d", "Tesla (model)",
                 "32c Opteron (mdl)", "8c Nehalem (mdl)", "4c Nehalem (mdl)",
-                "OMP here (ms.)");
+                "OMP here (ms.)", with_blocked ? "   OMP blk here" : "");
     for (dim_t d = 1; d <= d_hi; ++d) {
       const SpeedupRow& r = rows[static_cast<std::size_t>(d - 1)];
-      std::printf("%-6u %14.1f %18.1f %18.1f %18.1f %14.2f\n", d, r.gpu,
+      std::printf("%-6u %14.1f %18.1f %18.1f %18.1f %14.2f", d, r.gpu,
                   r.opteron32, r.nehalem8, r.nehalem4, r.omp_here);
+      if (with_blocked) std::printf(" %14.2f", r.omp_blocked_here);
+      std::printf("\n");
     }
     std::printf("\n");
   };
 
   print_table("Fig. 10a analogue: hierarchization speedup vs 1 core",
-              hier_rows);
-  print_table("Fig. 10b analogue: evaluation speedup vs 1 core", eval_rows);
+              hier_rows, false);
+  print_table("Fig. 10b analogue: evaluation speedup vs 1 core (OMP blk = "
+              "plan-based omp_evaluate_many_blocked)",
+              eval_rows, true);
 
   std::printf("shape checks vs the paper:\n");
   const SpeedupRow& h10 = hier_rows.back();

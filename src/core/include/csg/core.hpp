@@ -9,6 +9,7 @@
 #include "csg/core/compact_storage.hpp"
 #include "csg/core/dim_vector.hpp"
 #include "csg/core/evaluate.hpp"
+#include "csg/core/evaluation_plan.hpp"
 #include "csg/core/grid_point.hpp"
 #include "csg/core/hierarchize.hpp"
 #include "csg/core/level_enumeration.hpp"

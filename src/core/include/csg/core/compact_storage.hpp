@@ -68,9 +68,11 @@ class CompactStorage {
   }
 
   /// Bytes of coefficient payload plus descriptor metadata. This is what the
-  /// Fig. 8 memory benchmark reports for "our data structure".
+  /// Fig. 8 memory benchmark reports for "our data structure". Counted from
+  /// size(), not capacity(): the metric is the payload the grid needs, and
+  /// capacity can overstate it after a resize path.
   std::size_t memory_bytes() const {
-    return values_.capacity() * sizeof(real_t) +
+    return values_.size() * sizeof(real_t) +
            grid_.binmat().payload_bytes() +
            (grid_.level() + 1) * sizeof(flat_index_t);
   }

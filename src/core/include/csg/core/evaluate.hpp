@@ -2,28 +2,46 @@
 // arbitrary points of [0,1]^d — paper Alg. 7.
 //
 // The sum over all basis functions collapses to one term per subspace: in a
-// regular subspace exactly one hat has the query point in its support. The
-// subspaces are walked with the next_level iterator, so neither gp2idx nor
-// idx2gp is needed, and the coefficient offset advances by 2^j per subspace.
+// regular subspace exactly one hat has the query point in its support, and
+// the coefficient offset advances by 2^j per subspace. The subspaces are
+// visited through an EvaluationPlan — a one-time flattening of the level
+// enumeration into contiguous arrays — so the per-point inner loop is a
+// linear scan with no level-vector rederivation. A reference walker that
+// still derives levels with first_level/advance_level is kept for parity
+// tests and as the benchmark baseline.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "csg/core/compact_storage.hpp"
+#include "csg/core/evaluation_plan.hpp"
 
 namespace csg {
 
 /// Evaluate a coefficient array laid out by `grid` at one point x in
 /// [0,1]^d. The span form exists so that sub-grid views (e.g. the boundary
-/// decomposition of Sec. 4.4) can be evaluated without copying.
+/// decomposition of Sec. 4.4) can be evaluated without copying. Fetches the
+/// shared plan for (d, n); callers holding a plan use the overload below.
 real_t evaluate_span(const RegularSparseGrid& grid,
                      std::span<const real_t> coeffs, const CoordVector& x);
+
+/// Plan-based core: one linear scan over the flattened subspaces.
+real_t evaluate_span(const EvaluationPlan& plan,
+                     std::span<const real_t> coeffs, const CoordVector& x);
+
+/// Reference implementation of Alg. 7 that re-derives every level vector
+/// with first_level/advance_level. Bit-identical to the plan-based path;
+/// retained so tests can pin the plan down and benchmarks can report the
+/// plan's speedup against it.
+real_t evaluate_span_walk(const RegularSparseGrid& grid,
+                          std::span<const real_t> coeffs,
+                          const CoordVector& x);
 
 /// Evaluate the sparse grid function at one point x in [0,1]^d.
 real_t evaluate(const CompactStorage& storage, const CoordVector& x);
 
-/// Evaluate at many points; the straightforward loop over evaluate().
+/// Evaluate at many points; fetches the plan once and loops over points.
 std::vector<real_t> evaluate_many(const CompactStorage& storage,
                                   std::span<const CoordVector> points);
 
@@ -33,5 +51,20 @@ std::vector<real_t> evaluate_many(const CompactStorage& storage,
 std::vector<real_t> evaluate_many_blocked(const CompactStorage& storage,
                                           std::span<const CoordVector> points,
                                           std::size_t block_size = 64);
+
+/// Plan-held variant of the blocked evaluation.
+std::vector<real_t> evaluate_many_blocked(const EvaluationPlan& plan,
+                                          std::span<const real_t> coeffs,
+                                          std::span<const CoordVector> points,
+                                          std::size_t block_size = 64);
+
+/// Blocked accumulation into a caller-provided, zero-initialized output
+/// range (out.size() == points.size()). This is the shared core of the
+/// sequential and the OpenMP blocked paths: a parallel caller hands each
+/// thread a disjoint (points, out) slice and needs no reduction or barrier.
+void evaluate_blocked_into(const EvaluationPlan& plan,
+                           std::span<const real_t> coeffs,
+                           std::span<const CoordVector> points,
+                           std::size_t block_size, std::span<real_t> out);
 
 }  // namespace csg

@@ -41,10 +41,13 @@ inline LevelVector last_level(dim_t d, level_t n) {
 /// Alg. 3. Precondition: l != last_level (i.e. some component before the last
 /// is non-zero).
 inline LevelVector next_level(const LevelVector& l) {
-  LevelVector r = l;
+  // Bounded scan, and the precondition check precedes any use of t: an
+  // all-zero vector (e.g. the single subspace of an n = 0 grid) must abort
+  // here instead of reading past the end of l.
   dim_t t = 0;
-  while (l[t] == 0) ++t;
+  while (t < l.size() && l[t] == 0) ++t;
   CSG_EXPECTS(t + 1 < l.size() && "next_level called on the last level vector");
+  LevelVector r = l;
   r[t] = 0;
   r[0] = l[t] - 1;  // after r[t]=0 so that the t==0 case degenerates correctly
   r[t + 1] = l[t + 1] + 1;

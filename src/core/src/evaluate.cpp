@@ -9,14 +9,16 @@ namespace csg {
 
 namespace {
 
-/// Contribution of subspace l (whose coefficients start at flat position
-/// `base`) to the interpolant at x: the one basis with x in its support,
-/// times its coefficient. Also the body of Alg. 7 lines 6-16.
-real_t subspace_contribution(const real_t* coeffs, const LevelVector& l,
+/// Contribution of one subspace (level components l[0..d), coefficients
+/// starting at flat position `base`) to the interpolant at x: the one basis
+/// with x in its support, times its coefficient. The body of Alg. 7 lines
+/// 6-16. Shared verbatim by the walk and the plan paths so both produce
+/// bit-identical sums.
+real_t subspace_contribution(const real_t* coeffs, const level_t* l, dim_t d,
                              flat_index_t base, const CoordVector& x) {
   real_t prod = 1;
   flat_index_t index1 = 0;
-  for (dim_t t = 0; t < l.size(); ++t) {
+  for (dim_t t = 0; t < d; ++t) {
     const index1d_t i = support_index_1d(l[t], x[t]);
     index1 = (index1 << l[t]) + ((i - 1) >> 1);
     prod *= hat_basis_1d(l[t], i, x[t]);
@@ -27,8 +29,9 @@ real_t subspace_contribution(const real_t* coeffs, const LevelVector& l,
 
 }  // namespace
 
-real_t evaluate_span(const RegularSparseGrid& grid,
-                     std::span<const real_t> coeffs, const CoordVector& x) {
+real_t evaluate_span_walk(const RegularSparseGrid& grid,
+                          std::span<const real_t> coeffs,
+                          const CoordVector& x) {
   CSG_EXPECTS(x.size() == grid.dim());
   CSG_EXPECTS(coeffs.size() >= grid.num_points());
   const dim_t d = grid.dim();
@@ -39,13 +42,33 @@ real_t evaluate_span(const RegularSparseGrid& grid,
     LevelVector l = first_level(d, j);
     const std::uint64_t subspaces = grid.subspaces_in_group(j);
     for (std::uint64_t k = 0; k < subspaces; ++k) {
-      res += subspace_contribution(coeffs.data(), l, index2, x);
+      res += subspace_contribution(coeffs.data(), l.data(), d, index2, x);
       index2 += grid.points_per_subspace(j);
       if (k + 1 < subspaces) advance_level(l);
     }
   }
   CSG_ASSERT(index2 == grid.num_points());
   return res;
+}
+
+real_t evaluate_span(const EvaluationPlan& plan,
+                     std::span<const real_t> coeffs, const CoordVector& x) {
+  CSG_EXPECTS(x.size() == plan.dim());
+  CSG_EXPECTS(coeffs.size() >= plan.num_points());
+  const dim_t d = plan.dim();
+  const level_t* levels = plan.packed_levels();
+  const flat_index_t* offsets = plan.offsets();
+  const std::size_t count = plan.subspace_count();
+  real_t res = 0;
+  for (std::size_t s = 0; s < count; ++s)
+    res += subspace_contribution(coeffs.data(), levels + s * d, d, offsets[s],
+                                 x);
+  return res;
+}
+
+real_t evaluate_span(const RegularSparseGrid& grid,
+                     std::span<const real_t> coeffs, const CoordVector& x) {
+  return evaluate_span(*EvaluationPlan::shared(grid), coeffs, x);
 }
 
 real_t evaluate(const CompactStorage& storage, const CoordVector& x) {
@@ -57,36 +80,54 @@ real_t evaluate(const CompactStorage& storage, const CoordVector& x) {
 
 std::vector<real_t> evaluate_many(const CompactStorage& storage,
                                   std::span<const CoordVector> points) {
+  const auto plan = EvaluationPlan::shared(storage.grid());
+  const std::span<const real_t> coeffs(storage.data(),
+                                       storage.values().size());
   std::vector<real_t> out(points.size());
   for (std::size_t p = 0; p < points.size(); ++p)
-    out[p] = evaluate(storage, points[p]);
+    out[p] = evaluate_span(*plan, coeffs, points[p]);
+  return out;
+}
+
+void evaluate_blocked_into(const EvaluationPlan& plan,
+                           std::span<const real_t> coeffs,
+                           std::span<const CoordVector> points,
+                           std::size_t block_size, std::span<real_t> out) {
+  CSG_EXPECTS(block_size >= 1);
+  CSG_EXPECTS(out.size() == points.size());
+  CSG_EXPECTS(coeffs.size() >= plan.num_points());
+  const dim_t d = plan.dim();
+  const level_t* levels = plan.packed_levels();
+  const flat_index_t* offsets = plan.offsets();
+  const std::size_t count = plan.subspace_count();
+  for (std::size_t b0 = 0; b0 < points.size(); b0 += block_size) {
+    const std::size_t b1 = std::min(b0 + block_size, points.size());
+    for (std::size_t s = 0; s < count; ++s) {
+      const level_t* l = levels + s * d;
+      const flat_index_t base = offsets[s];
+      for (std::size_t p = b0; p < b1; ++p)
+        out[p] += subspace_contribution(coeffs.data(), l, d, base, points[p]);
+    }
+  }
+}
+
+std::vector<real_t> evaluate_many_blocked(const EvaluationPlan& plan,
+                                          std::span<const real_t> coeffs,
+                                          std::span<const CoordVector> points,
+                                          std::size_t block_size) {
+  std::vector<real_t> out(points.size(), 0);
+  evaluate_blocked_into(plan, coeffs, points, block_size, out);
   return out;
 }
 
 std::vector<real_t> evaluate_many_blocked(const CompactStorage& storage,
                                           std::span<const CoordVector> points,
                                           std::size_t block_size) {
-  CSG_EXPECTS(block_size >= 1);
-  const RegularSparseGrid& grid = storage.grid();
-  const dim_t d = grid.dim();
-  const level_t n = grid.level();
-  std::vector<real_t> out(points.size(), 0);
-  for (std::size_t b0 = 0; b0 < points.size(); b0 += block_size) {
-    const std::size_t b1 = std::min(b0 + block_size, points.size());
-    flat_index_t index2 = 0;
-    for (level_t j = 0; j < n; ++j) {
-      LevelVector l = first_level(d, j);
-      const std::uint64_t subspaces = grid.subspaces_in_group(j);
-      for (std::uint64_t k = 0; k < subspaces; ++k) {
-        for (std::size_t p = b0; p < b1; ++p)
-          out[p] += subspace_contribution(storage.data(), l, index2,
-                                           points[p]);
-        index2 += grid.points_per_subspace(j);
-        if (k + 1 < subspaces) advance_level(l);
-      }
-    }
-  }
-  return out;
+  const auto plan = EvaluationPlan::shared(storage.grid());
+  return evaluate_many_blocked(
+      *plan,
+      std::span<const real_t>(storage.data(), storage.values().size()),
+      points, block_size);
 }
 
 }  // namespace csg

@@ -1,0 +1,58 @@
+#include "csg/core/evaluation_plan.hpp"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "csg/core/level_enumeration.hpp"
+
+namespace csg {
+
+EvaluationPlan::EvaluationPlan(const RegularSparseGrid& grid)
+    : d_(grid.dim()), n_(grid.level()), num_points_(grid.num_points()) {
+  std::size_t total_subspaces = 0;
+  for (level_t j = 0; j < n_; ++j)
+    total_subspaces += static_cast<std::size_t>(grid.subspaces_in_group(j));
+  levels_.reserve(total_subspaces * d_);
+  offsets_.reserve(total_subspaces);
+
+  // Same walk evaluate_span used to do per query point, executed once:
+  // level groups ascending, within a group the Alg. 3 order, the base
+  // offset advancing by 2^j per subspace.
+  flat_index_t base = 0;
+  for (level_t j = 0; j < n_; ++j) {
+    LevelVector l = first_level(d_, j);
+    const std::uint64_t subspaces = grid.subspaces_in_group(j);
+    const flat_index_t span = grid.points_per_subspace(j);
+    for (std::uint64_t k = 0; k < subspaces; ++k) {
+      levels_.insert(levels_.end(), l.begin(), l.end());
+      offsets_.push_back(base);
+      base += span;
+      if (k + 1 < subspaces) advance_level(l);
+    }
+  }
+  CSG_ENSURES(base == num_points_);
+  CSG_ENSURES(offsets_.size() == total_subspaces);
+}
+
+std::shared_ptr<const EvaluationPlan> EvaluationPlan::shared(
+    const RegularSparseGrid& grid) {
+  static std::mutex mutex;
+  static std::map<std::pair<dim_t, level_t>,
+                  std::shared_ptr<const EvaluationPlan>>
+      cache;
+  const std::pair<dim_t, level_t> key{grid.dim(), grid.level()};
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Build outside the lock so concurrent first-time callers of different
+  // shapes do not serialize on the flattening.
+  auto plan = std::make_shared<const EvaluationPlan>(grid);
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto [it, inserted] = cache.emplace(key, std::move(plan));
+  return it->second;
+}
+
+}  // namespace csg

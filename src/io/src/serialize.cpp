@@ -14,6 +14,11 @@ constexpr char kBoundaryMagic[4] = {'C', 'S', 'B', '1'};
 constexpr char kAdaptiveMagic[4] = {'C', 'S', 'A', '1'};
 constexpr char kTruncatedMagic[4] = {'C', 'S', 'G', 'T'};
 
+/// Byte-order sentinel written natively right after the magic. A reader on
+/// a platform with the opposite endianness sees the byte-reversed value and
+/// rejects the file instead of silently loading scrambled coefficients.
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
 void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -31,10 +36,35 @@ std::uint64_t read_u64(std::istream& in) {
   return v;
 }
 
+/// Shared header prelude of all four formats: byte-order tag plus
+/// sizeof(real_t), so a file from a mismatched platform or a real_t-retyped
+/// build fails loudly at the header instead of misreading the payload.
+void write_prelude(std::ostream& out) {
+  write_u32(out, kEndianTag);
+  write_u32(out, static_cast<std::uint32_t>(sizeof(real_t)));
+}
+
+void check_prelude(std::istream& in, const char* who) {
+  const std::uint32_t endian = read_u32(in);
+  const std::uint32_t width = read_u32(in);
+  if (!in) throw std::runtime_error(std::string(who) + ": truncated header");
+  if (endian != kEndianTag)
+    throw std::runtime_error(
+        std::string(who) +
+        ": endianness mismatch (file written with a different byte order, "
+        "or a legacy header without the byte-order tag)");
+  if (width != sizeof(real_t))
+    throw std::runtime_error(
+        std::string(who) + ": real_t width mismatch (file stores " +
+        std::to_string(width) + "-byte reals, this build uses " +
+        std::to_string(sizeof(real_t)) + "-byte reals)");
+}
+
 }  // namespace
 
 void save(const CompactStorage& storage, std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
+  write_prelude(out);
   write_u32(out, storage.grid().dim());
   write_u32(out, storage.grid().level());
   write_u64(out, storage.grid().num_points());
@@ -49,6 +79,7 @@ CompactStorage load(std::istream& in) {
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     throw std::runtime_error("csg::io::load: bad magic (not a CSG1 file)");
+  check_prelude(in, "csg::io::load");
   const std::uint32_t d = read_u32(in);
   const std::uint32_t n = read_u32(in);
   const std::uint64_t count = read_u64(in);
@@ -81,12 +112,14 @@ CompactStorage load_file(const std::string& path) {
 }
 
 std::size_t serialized_bytes(const CompactStorage& storage) {
-  return sizeof(kMagic) + 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+  // magic + (endian tag, real width) prelude + d + n + N + payload.
+  return sizeof(kMagic) + 4 * sizeof(std::uint32_t) + sizeof(std::uint64_t) +
          storage.values().size() * sizeof(real_t);
 }
 
 void save(const TruncatedStorage& storage, std::ostream& out) {
   out.write(kTruncatedMagic, sizeof(kTruncatedMagic));
+  write_prelude(out);
   write_u32(out, storage.grid().dim());
   write_u32(out, storage.grid().level());
   write_u64(out, storage.kept_count());
@@ -108,6 +141,7 @@ TruncatedStorage load_truncated(std::istream& in) {
   if (!in || std::memcmp(magic, kTruncatedMagic, sizeof(kTruncatedMagic)) != 0)
     throw std::runtime_error(
         "csg::io::load_truncated: bad magic (not a CSGT file)");
+  check_prelude(in, "csg::io::load_truncated");
   const std::uint32_t d = read_u32(in);
   const std::uint32_t n = read_u32(in);
   const std::uint64_t kept = read_u64(in);
@@ -153,6 +187,7 @@ TruncatedStorage load_truncated_file(const std::string& path) {
 
 void save(const BoundaryStorage& storage, std::ostream& out) {
   out.write(kBoundaryMagic, sizeof(kBoundaryMagic));
+  write_prelude(out);
   write_u32(out, storage.grid().dim());
   write_u32(out, storage.grid().level());
   write_u64(out, storage.grid().num_points());
@@ -169,6 +204,7 @@ BoundaryStorage load_boundary(std::istream& in) {
   if (!in || std::memcmp(magic, kBoundaryMagic, sizeof(kBoundaryMagic)) != 0)
     throw std::runtime_error(
         "csg::io::load_boundary: bad magic (not a CSB1 file)");
+  check_prelude(in, "csg::io::load_boundary");
   const std::uint32_t d = read_u32(in);
   const std::uint32_t n = read_u32(in);
   const std::uint64_t count = read_u64(in);
@@ -205,6 +241,7 @@ BoundaryStorage load_boundary_file(const std::string& path) {
 
 void save(const adaptive::AdaptiveSparseGrid& grid, std::ostream& out) {
   out.write(kAdaptiveMagic, sizeof(kAdaptiveMagic));
+  write_prelude(out);
   write_u32(out, grid.dim());
   write_u32(out, 0);  // reserved
   write_u64(out, grid.num_points());
@@ -226,6 +263,7 @@ adaptive::AdaptiveSparseGrid load_adaptive(std::istream& in) {
   if (!in || std::memcmp(magic, kAdaptiveMagic, sizeof(kAdaptiveMagic)) != 0)
     throw std::runtime_error(
         "csg::io::load_adaptive: bad magic (not a CSA1 file)");
+  check_prelude(in, "csg::io::load_adaptive");
   const std::uint32_t d = read_u32(in);
   (void)read_u32(in);  // reserved
   const std::uint64_t count = read_u64(in);

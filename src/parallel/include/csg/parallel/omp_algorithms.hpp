@@ -47,6 +47,16 @@ std::vector<real_t> omp_evaluate_many(const CompactStorage& storage,
                                       std::span<const CoordVector> points,
                                       int num_threads);
 
+/// Parallel cache-blocked evaluation (Sec. 4.3 blocking + Fig. 11b style
+/// threading): the point set is cut into blocks, threads take whole blocks
+/// with a static schedule, and every thread accumulates into the disjoint
+/// `out` range of its own blocks — no reduction, no barrier until the
+/// implicit one at region end. The EvaluationPlan for (d, n) is fetched
+/// once and shared read-only by all threads.
+std::vector<real_t> omp_evaluate_many_blocked(
+    const CompactStorage& storage, std::span<const CoordVector> points,
+    std::size_t block_size, int num_threads);
+
 /// Parallel recursive hierarchization over any storage: one task per pole,
 /// barrier between dimensions. Requires the storage to be fully populated
 /// (sampled) so that no set() changes container structure.

@@ -1,5 +1,7 @@
 #include "csg/parallel/omp_algorithms.hpp"
 
+#include <algorithm>
+
 #include "csg/core/grid_point.hpp"
 #include "csg/core/level_enumeration.hpp"
 
@@ -156,10 +158,39 @@ std::vector<real_t> omp_evaluate_many(const CompactStorage& storage,
                                       std::span<const CoordVector> points,
                                       int num_threads) {
   CSG_EXPECTS(num_threads >= 1);
+  // Fetch the plan once outside the region; per-point evaluate() would
+  // take the plan-cache lock from every thread on every call.
+  const auto plan = EvaluationPlan::shared(storage.grid());
+  const std::span<const real_t> coeffs(storage.data(),
+                                       storage.values().size());
   std::vector<real_t> out(points.size());
 #pragma omp parallel for schedule(static) num_threads(num_threads)
   for (std::size_t p = 0; p < points.size(); ++p)
-    out[p] = evaluate(storage, points[p]);
+    out[p] = evaluate_span(*plan, coeffs, points[p]);
+  return out;
+}
+
+std::vector<real_t> omp_evaluate_many_blocked(
+    const CompactStorage& storage, std::span<const CoordVector> points,
+    std::size_t block_size, int num_threads) {
+  CSG_EXPECTS(num_threads >= 1);
+  CSG_EXPECTS(block_size >= 1);
+  const auto plan = EvaluationPlan::shared(storage.grid());
+  const std::span<const real_t> coeffs(storage.data(),
+                                       storage.values().size());
+  std::vector<real_t> out(points.size(), 0);
+  const auto num_blocks = static_cast<std::int64_t>(
+      (points.size() + block_size - 1) / block_size);
+  // One iteration per point block; blocks write disjoint out ranges, so
+  // the reduction is barrier-free and results are bit-identical for any
+  // thread count (each point always sums subspaces in enumeration order).
+#pragma omp parallel for schedule(static) num_threads(num_threads)
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    const std::size_t b0 = static_cast<std::size_t>(b) * block_size;
+    const std::size_t b1 = std::min(b0 + block_size, points.size());
+    evaluate_blocked_into(*plan, coeffs, points.subspan(b0, b1 - b0),
+                          block_size, std::span<real_t>(out).subspan(b0, b1 - b0));
+  }
   return out;
 }
 

@@ -41,11 +41,20 @@ TEST(CompactStorage, SampleEvaluatesFunctionAtEveryPoint) {
 
 TEST(CompactStorage, MemoryIsCoefficientArrayPlusSmallMetadata) {
   CompactStorage s(5, 8);
-  const std::size_t payload = s.values().capacity() * sizeof(real_t);
+  const std::size_t payload = s.values().size() * sizeof(real_t);
   EXPECT_GE(s.memory_bytes(), payload);
   // Metadata (binmat + offsets) must be tiny relative to the payload:
   // this is the whole point of the compact structure.
   EXPECT_LT(s.memory_bytes() - payload, 8u * 1024u);
+}
+
+TEST(CompactStorage, MemoryBytesCountsPayloadNotCapacity) {
+  // The Fig. 8 metric is live payload: growing the vector's capacity
+  // beyond size() must not inflate the reported footprint.
+  CompactStorage s(3, 4);
+  const std::size_t before = s.memory_bytes();
+  s.values().reserve(s.values().size() * 4);
+  EXPECT_EQ(s.memory_bytes(), before);
 }
 
 TEST(CompactStorage, ConstructFromExistingGrid) {

@@ -1,0 +1,139 @@
+#include "csg/core/evaluation_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/parallel/omp_algorithms.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg {
+namespace {
+
+CompactStorage compressed(dim_t d, level_t n) {
+  CompactStorage s(d, n);
+  s.sample(workloads::simulation_field(d).f);
+  hierarchize(s);
+  return s;
+}
+
+TEST(EvaluationPlan, FlattensTheFullEnumeration) {
+  const RegularSparseGrid grid(4, 5);
+  const EvaluationPlan plan(grid);
+  EXPECT_EQ(plan.dim(), 4u);
+  EXPECT_EQ(plan.level(), 5u);
+  EXPECT_EQ(plan.num_points(), grid.num_points());
+  std::size_t expected = 0;
+  for (level_t j = 0; j < grid.level(); ++j)
+    expected += static_cast<std::size_t>(grid.subspaces_in_group(j));
+  EXPECT_EQ(plan.subspace_count(), expected);
+}
+
+TEST(EvaluationPlan, EntriesMatchGridEnumerationAndOffsets) {
+  const RegularSparseGrid grid(3, 6);
+  const EvaluationPlan plan(grid);
+  std::size_t s = 0;
+  for (level_t j = 0; j < grid.level(); ++j)
+    for (const LevelVector& l : LevelRange(3, j)) {
+      ASSERT_LT(s, plan.subspace_count());
+      EXPECT_EQ(plan.level_of(s), l) << "subspace " << s;
+      EXPECT_EQ(plan.offsets()[s], grid.subspace_offset(l)) << "subspace " << s;
+      ++s;
+    }
+  EXPECT_EQ(s, plan.subspace_count());
+}
+
+TEST(EvaluationPlan, SharedCacheReturnsOneInstancePerShape) {
+  const RegularSparseGrid a(3, 4), b(3, 4), c(3, 5);
+  EXPECT_EQ(EvaluationPlan::shared(a).get(), EvaluationPlan::shared(b).get());
+  EXPECT_NE(EvaluationPlan::shared(a).get(), EvaluationPlan::shared(c).get());
+}
+
+TEST(EvaluationPlan, MemoryFootprintIsSmall) {
+  // d=10, n=6 — the plan metadata must stay far below the coefficient
+  // payload it accelerates.
+  const RegularSparseGrid grid(10, 6);
+  const EvaluationPlan plan(grid);
+  EXPECT_LT(plan.memory_bytes(),
+            static_cast<std::size_t>(grid.num_points()) * sizeof(real_t));
+}
+
+struct DimLevel {
+  dim_t d;
+  level_t n;
+};
+
+class PlanParity : public ::testing::TestWithParam<DimLevel> {};
+
+// All plan-based paths must agree bit-for-bit with the pre-plan scalar walk
+// (first_level/advance_level per call), which is retained as
+// evaluate_span_walk.
+TEST_P(PlanParity, PlanPathsAreBitIdenticalToTheScalarWalk) {
+  const auto [d, n] = GetParam();
+  const CompactStorage s = compressed(d, n);
+  const std::span<const real_t> coeffs(s.data(), s.values().size());
+  const auto pts = workloads::uniform_points(d, 97, 13);
+
+  std::vector<real_t> reference(pts.size());
+  for (std::size_t p = 0; p < pts.size(); ++p)
+    reference[p] = evaluate_span_walk(s.grid(), coeffs, pts[p]);
+
+  const EvaluationPlan plan(s.grid());
+  for (std::size_t p = 0; p < pts.size(); ++p) {
+    EXPECT_EQ(evaluate_span(plan, coeffs, pts[p]), reference[p]) << p;
+    EXPECT_EQ(evaluate_span(s.grid(), coeffs, pts[p]), reference[p]) << p;
+    EXPECT_EQ(evaluate(s, pts[p]), reference[p]) << p;
+  }
+
+  EXPECT_EQ(evaluate_many(s, pts), reference);
+  for (std::size_t block : {1u, 3u, 64u, 97u, 1000u}) {
+    EXPECT_EQ(evaluate_many_blocked(s, pts, block), reference)
+        << "block " << block;
+    EXPECT_EQ(evaluate_many_blocked(plan, coeffs, pts, block), reference)
+        << "block " << block;
+  }
+}
+
+TEST_P(PlanParity, OmpBlockedIsBitIdenticalForAnyThreadAndBlockCount) {
+  const auto [d, n] = GetParam();
+  const CompactStorage s = compressed(d, n);
+  const std::span<const real_t> coeffs(s.data(), s.values().size());
+  const auto pts = workloads::uniform_points(d, 131, 29);
+  std::vector<real_t> reference(pts.size());
+  for (std::size_t p = 0; p < pts.size(); ++p)
+    reference[p] = evaluate_span_walk(s.grid(), coeffs, pts[p]);
+  for (int threads : {1, 2, 4, 7})
+    for (std::size_t block : {1u, 16u, 64u, 131u, 500u})
+      EXPECT_EQ(parallel::omp_evaluate_many_blocked(s, pts, block, threads),
+                reference)
+          << "threads " << threads << " block " << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlanParity,
+    ::testing::Values(DimLevel{1, 6}, DimLevel{2, 6}, DimLevel{5, 5},
+                      DimLevel{10, 3}),
+    [](const ::testing::TestParamInfo<DimLevel>& info) {
+      return "d" + std::to_string(info.param.d) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(EvaluationPlanDeath, DimensionMismatchAborts) {
+  const RegularSparseGrid grid(2, 3);
+  const EvaluationPlan plan(grid);
+  const std::vector<real_t> coeffs(grid.num_points(), 0);
+  EXPECT_DEATH((void)evaluate_span(plan, coeffs, CoordVector{0.5}),
+               "precondition");
+}
+
+TEST(EvaluationPlanDeath, ShortCoefficientSpanAborts) {
+  const RegularSparseGrid grid(2, 3);
+  const EvaluationPlan plan(grid);
+  const std::vector<real_t> coeffs(grid.num_points() - 1, 0);
+  EXPECT_DEATH((void)evaluate_span(plan, coeffs, CoordVector{0.5, 0.5}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace csg

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
+#include <utility>
 
 #include "csg/adaptive/adaptive_grid.hpp"
 #include "csg/core/evaluate.hpp"
@@ -41,10 +42,11 @@ TEST(Serialize, SerializedBytesMatchesActualSize) {
 
 TEST(Serialize, FormatIsHeaderPlusRawCoefficients) {
   const CompactStorage s = make_storage();
-  // 4 magic + 4 + 4 + 8 header bytes + N doubles: the on-disk footprint is
-  // as compact as the in-memory one (no keys).
+  // 4 magic + 4 endian tag + 4 real width + 4 + 4 + 8 header bytes +
+  // N doubles: the on-disk footprint stays as compact as the in-memory one
+  // (no keys).
   EXPECT_EQ(serialized_bytes(s),
-            20u + s.values().size() * sizeof(real_t));
+            28u + s.values().size() * sizeof(real_t));
 }
 
 TEST(Serialize, FileRoundTrip) {
@@ -76,7 +78,7 @@ TEST(Serialize, CorruptedHeaderRejected) {
   std::stringstream buffer;
   save(s, buffer);
   std::string bytes = buffer.str();
-  bytes[4] = char(0xFF);  // absurd dimension
+  bytes[12] = char(0xFF);  // absurd dimension
   std::stringstream corrupted(bytes);
   EXPECT_THROW(load(corrupted), std::runtime_error);
 }
@@ -86,9 +88,85 @@ TEST(Serialize, InconsistentPointCountRejected) {
   std::stringstream buffer;
   save(s, buffer);
   std::string bytes = buffer.str();
-  bytes[12] = char(bytes[12] + 1);  // tamper with the stored N
+  bytes[20] = char(bytes[20] + 1);  // tamper with the stored N
   std::stringstream corrupted(bytes);
   EXPECT_THROW(load(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, WrongEndiannessRejected) {
+  // Byte-swap the endianness tag, as a big-endian writer would produce:
+  // the loader must refuse instead of silently loading scrambled reals.
+  const CompactStorage s = make_storage();
+  std::stringstream buffer;
+  save(s, buffer);
+  std::string bytes = buffer.str();
+  std::swap(bytes[4], bytes[7]);
+  std::swap(bytes[5], bytes[6]);
+  std::stringstream foreign(bytes);
+  try {
+    load(foreign);
+    FAIL() << "wrong-endianness header was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("endianness"), std::string::npos);
+  }
+}
+
+TEST(Serialize, WrongRealWidthRejected) {
+  // Pretend the file stores 4-byte reals (a float-retyped build): reject
+  // with a descriptive error rather than misreading the payload.
+  const CompactStorage s = make_storage();
+  std::stringstream buffer;
+  save(s, buffer);
+  std::string bytes = buffer.str();
+  bytes[8] = 4;
+  std::stringstream narrow(bytes);
+  try {
+    load(narrow);
+    FAIL() << "wrong-width header was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("width"), std::string::npos);
+  }
+}
+
+TEST(Serialize, LegacyPreludeFreeHeaderFailsLoudly) {
+  // A file in the old layout (magic, d, n, N, payload — no endian tag, no
+  // real width) must be rejected at the header, never half-loaded.
+  const CompactStorage s = make_storage();
+  std::stringstream buffer;
+  buffer.write("CSG1", 4);
+  const std::uint32_t d = 3, n = 5;
+  const std::uint64_t count = s.grid().num_points();
+  buffer.write(reinterpret_cast<const char*>(&d), 4);
+  buffer.write(reinterpret_cast<const char*>(&n), 4);
+  buffer.write(reinterpret_cast<const char*>(&count), 8);
+  buffer.write(reinterpret_cast<const char*>(s.data()),
+               static_cast<std::streamsize>(count * sizeof(real_t)));
+  EXPECT_THROW(load(buffer), std::runtime_error);
+}
+
+TEST(Serialize, AllFormatsRejectForeignEndianness) {
+  // The prelude is shared: flip the tag in each format's header.
+  auto swapped_tag = [](std::string bytes) {
+    std::swap(bytes[4], bytes[7]);
+    std::swap(bytes[5], bytes[6]);
+    return bytes;
+  };
+  std::stringstream csgt_buf;
+  save(TruncatedStorage(make_storage(), 1e-4), csgt_buf);
+  std::stringstream csgt(swapped_tag(csgt_buf.str()));
+  EXPECT_THROW(load_truncated(csgt), std::runtime_error);
+
+  BoundaryStorage b(2, 3);
+  std::stringstream csb_buf;
+  save(b, csb_buf);
+  std::stringstream csb(swapped_tag(csb_buf.str()));
+  EXPECT_THROW(load_boundary(csb), std::runtime_error);
+
+  adaptive::AdaptiveSparseGrid a(2, 2);
+  std::stringstream csa_buf;
+  save(a, csa_buf);
+  std::stringstream csa(swapped_tag(csa_buf.str()));
+  EXPECT_THROW(load_adaptive(csa), std::runtime_error);
 }
 
 TEST(Serialize, MissingFileThrows) {
@@ -115,11 +193,11 @@ TEST(SerializeTruncated, CorruptIndexStreamRejected) {
   std::stringstream buffer;
   save(original, buffer);
   std::string bytes = buffer.str();
-  // Break monotonicity of the first two stored indices (header is 24 B:
-  // magic + d + n + count + bound... magic 4, u32 d 4, u32 n 4, u64 kept 8,
-  // real bound 8 = 28 bytes).
-  bytes[28] = char(0xFF);
-  bytes[29] = char(0xFF);
+  // Break monotonicity of the first two stored indices (header: magic 4,
+  // endian 4, width 4, u32 d 4, u32 n 4, u64 kept 8, real bound 8 = 36
+  // bytes).
+  bytes[36] = char(0xFF);
+  bytes[37] = char(0xFF);
   std::stringstream corrupted(bytes);
   EXPECT_THROW(load_truncated(corrupted), std::runtime_error);
 }
@@ -209,8 +287,8 @@ TEST(SerializeAdaptive, CorruptPointRejected) {
   std::stringstream buffer;
   save(g, buffer);
   std::string bytes = buffer.str();
-  // First record starts after the 16-byte header; make its index even.
-  bytes[16 + 4] = 2;
+  // First record starts after the 28-byte header; make its index even.
+  bytes[28 + 4] = 2;
   std::stringstream corrupted(bytes);
   EXPECT_THROW(load_adaptive(corrupted), std::runtime_error);
 }

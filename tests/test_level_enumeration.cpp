@@ -35,6 +35,31 @@ TEST(LevelEnumeration, AdvanceOnAllZeroReturnsFalse) {
   // The n=0 group has the single vector (0,...,0) with no successor.
   LevelVector l(5, 0);
   EXPECT_FALSE(advance_level(l));
+  EXPECT_EQ(l, LevelVector(5, 0));
+}
+
+TEST(LevelEnumeration, AdvanceOnSingleDimensionReturnsFalse) {
+  // d=1: every group has exactly one vector, including n=0.
+  LevelVector zero{0};
+  EXPECT_FALSE(advance_level(zero));
+  LevelVector five{5};
+  EXPECT_FALSE(advance_level(five));
+  EXPECT_EQ(five, LevelVector{5});
+}
+
+TEST(LevelEnumerationDeath, NextLevelOnAllZeroAborts) {
+  // The all-zero vector (the single subspace of an n=0 group) has no
+  // successor; the precondition must fire before the scan runs off the end
+  // of the vector (regression: the scan used to read out of bounds).
+  LevelVector l(3, 0);
+  EXPECT_DEATH((void)next_level(l), "precondition");
+  LevelVector single{0};
+  EXPECT_DEATH((void)next_level(single), "precondition");
+}
+
+TEST(LevelEnumerationDeath, NextLevelOnLastVectorAborts) {
+  EXPECT_DEATH((void)next_level(last_level(4, 3)), "precondition");
+  EXPECT_DEATH((void)next_level(LevelVector{7}), "precondition");
 }
 
 TEST(LevelEnumeration, NumSubspacesMatchesFormula) {
