@@ -4,8 +4,11 @@
 // per-call times across dimensionality.
 #include <benchmark/benchmark.h>
 
+#include <random>
+
 #include "csg/core/level_enumeration.hpp"
 #include "csg/core/regular_grid.hpp"
+#include "csg/testing/generators.hpp"
 
 namespace {
 
@@ -22,11 +25,15 @@ const RegularSparseGrid& grid_for(dim_t d) {
   return grids[d - 1];
 }
 
+// An unbiased random point mix from the shared test-input generator (a
+// strided tour over-represents the early level groups, which are the
+// cheapest to encode).
 std::vector<GridPoint> sample_points(const RegularSparseGrid& g) {
+  std::mt19937_64 rng(0xbe'9c'00'01);
   std::vector<GridPoint> pts;
-  const flat_index_t stride = std::max<flat_index_t>(1, g.num_points() / 512);
-  for (flat_index_t j = 0; j < g.num_points(); j += stride)
-    pts.push_back(g.idx2gp(j));
+  pts.reserve(512);
+  for (int k = 0; k < 512; ++k)
+    pts.push_back(csg::testing::random_grid_point(rng, g));
   return pts;
 }
 

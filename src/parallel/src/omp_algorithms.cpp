@@ -7,6 +7,16 @@
 
 namespace csg::parallel {
 
+#if defined(CSG_TSAN_GOMP_BRIDGE)
+namespace detail {
+void tsan_gomp_bridge_anchor();
+}
+// Forces tsan_gomp_bridge.o out of the archive so its GOMP_* interposers
+// are bound instead of libgomp's uninstrumented ones (see that TU).
+[[maybe_unused]] static void (*const force_tsan_bridge)() =
+    &detail::tsan_gomp_bridge_anchor;
+#endif
+
 namespace detail {
 
 /// Scalar Alg. 1 forward recursion over one pole (see

@@ -1,0 +1,195 @@
+// ThreadSanitizer <-> libgomp bridge.
+//
+// GCC's libgomp synchronizes its thread pool with futexes that TSan cannot
+// observe, so even race-free OpenMP code reports false positives: the
+// happens-before edges of fork (worker reads the outlined-function argument
+// block the spawning thread just wrote), join (the spawning thread reads
+// results after the region's closing barrier) and explicit barriers are all
+// invisible. Blanket suppressions (`race:libgomp`) would silence REAL races
+// too, since every report involving a pool thread carries a libgomp frame.
+//
+// Instead, this TU interposes the three GOMP entry points our code compiles
+// to — GOMP_parallel, GOMP_task, GOMP_barrier (schedule(static) loops lower
+// to plain GOMP_parallel; no GOMP_loop_* calls) — and re-creates exactly
+// those edges with __tsan_release/__tsan_acquire:
+//
+//   fork:    release(fork_tag) inside our GOMP_parallel (after the caller
+//            stored the argument block) -> acquire(fork_tag) first thing in
+//            the per-thread trampoline.
+//   join:    release(join_tag) last thing in the trampoline -> acquire
+//            (join_tag) after the real GOMP_parallel returns.
+//   barrier: every thread releases before and acquires after the real
+//            GOMP_barrier, yielding the all-to-all edge.
+//   task:    release(task_tag) at GOMP_task -> acquire in the task
+//            trampoline; on completion the trampoline releases the barrier
+//            and join tags, because tasks run while their thread is already
+//            inside a barrier (past that thread's own release) and the
+//            OpenMP memory model orders task bodies before whoever leaves
+//            that barrier or the region.
+//
+// Data conflicts NOT ordered by these constructs — two threads writing one
+// coefficient inside a region, a missing barrier between dependent groups —
+// have no edge and are still reported, which is the point: the lane stays
+// sensitive to real races while the runtime's own machinery is trusted.
+//
+// Interposition works at static link time: this object defines the GOMP_*
+// symbols, so the linker binds our versions and we forward to libgomp via
+// dlsym(RTLD_NEXT). The object is pulled out of the archive by the anchor
+// reference in omp_algorithms.cpp (enabled by the CSG_TSAN_GOMP_BRIDGE
+// compile definition, which CMake sets when CSG_SANITIZE=thread).
+
+namespace csg::parallel::detail {
+// Referenced from omp_algorithms.cpp so this TU is linked into every
+// binary that uses the OpenMP algorithms.
+void tsan_gomp_bridge_anchor() {}
+}  // namespace csg::parallel::detail
+
+#if defined(__SANITIZE_THREAD__)
+
+#include <dlfcn.h>
+#include <sanitizer/tsan_interface.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace {
+
+char fork_tag, join_tag, barrier_tag, task_tag;
+
+template <typename F>
+F resolve(const char* name) {
+  void* sym = dlsym(RTLD_NEXT, name);
+  if (sym == nullptr) {
+    std::fprintf(stderr, "csg tsan bridge: cannot resolve %s\n", name);
+    std::abort();
+  }
+  return reinterpret_cast<F>(sym);
+}
+
+struct RegionWrap {
+  void (*fn)(void*);
+  void* data;
+};
+
+void region_trampoline(void* p) {
+  auto* w = static_cast<RegionWrap*>(p);
+  __tsan_acquire(&fork_tag);
+  w->fn(w->data);
+  __tsan_release(&join_tag);
+}
+
+/// Prepended to the task payload so the executing thread can find the real
+/// body. payload_offset keeps the original argument alignment intact;
+/// align is remembered for the aligned operator delete (the executing
+/// thread owns the block).
+struct TaskHeader {
+  void (*fn)(void*);
+  long payload_offset;
+  long align;
+};
+
+void run_task(TaskHeader* h) {
+  __tsan_acquire(&task_tag);
+  h->fn(reinterpret_cast<char*>(h) + h->payload_offset);
+  const std::align_val_t align{static_cast<std::size_t>(h->align)};
+  ::operator delete(h, align);
+  // Tasks execute when a thread reaches a barrier — explicit GOMP_barrier
+  // or the implicit one at region end, both of which happen AFTER that
+  // thread's own release in region_trampoline / GOMP_barrier. So the
+  // completion edge must be published here, from the task itself, to both
+  // rendezvous points: whoever leaves the barrier (acquire(barrier_tag)) or
+  // the region (acquire(join_tag)) afterwards is ordered after this body —
+  // including the delete above, so the allocator can reuse the block.
+  __tsan_release(&barrier_tag);
+  __tsan_release(&join_tag);
+}
+
+/// Uninstrumented on purpose: `p` points into libgomp's INTERNAL copy of
+/// the 8-byte argument block, which the creating thread filled with a
+/// TSan-intercepted memcpy after our release(task_tag). An instrumented
+/// read here would pair with that memcpy and report a false race on
+/// libgomp's own task bookkeeping. Everything we actually care about lives
+/// in our TaskHeader block, whose accesses are instrumented in run_task
+/// and ordered by the task_tag edge.
+__attribute__((no_sanitize("thread"))) void task_trampoline(void* p) {
+  run_task(*static_cast<TaskHeader**>(p));
+}
+
+}  // namespace
+
+extern "C" {
+
+/// libgomp's own task bookkeeping (gomp_malloc of a task struct in the
+/// creating thread, free in whichever thread retires it) is guarded by the
+/// runtime's futex-based queue locks, which TSan cannot see — but malloc
+/// and free ARE TSan interceptors, so those accesses get recorded and
+/// reported as races between pool threads. `called_from_lib` ignores
+/// interceptor accesses whose direct caller is libgomp's module and nothing
+/// else: user-code accesses are instrumented in our own modules and are
+/// unaffected, so real races stay visible. (This is deliberately NOT a
+/// `race:` suppression — those match whole report stacks, and every pool
+/// thread's stack bottoms out in libgomp, so they would hide everything.)
+const char* __tsan_default_suppressions() {
+  return "called_from_lib:libgomp\n";
+}
+
+void GOMP_parallel(void (*fn)(void*), void* data, unsigned num_threads,
+                   unsigned flags) {
+  using Fn = void (*)(void (*)(void*), void*, unsigned, unsigned);
+  static const Fn real = resolve<Fn>("GOMP_parallel");
+  RegionWrap wrap{fn, data};
+  __tsan_release(&fork_tag);
+  real(region_trampoline, &wrap, num_threads, flags);
+  __tsan_acquire(&join_tag);
+}
+
+void GOMP_barrier() {
+  using Fn = void (*)();
+  static const Fn real = resolve<Fn>("GOMP_barrier");
+  __tsan_release(&barrier_tag);
+  real();
+  __tsan_acquire(&barrier_tag);
+}
+
+void GOMP_task(void (*fn)(void*), void* data, void (*cpyfn)(void*, void*),
+               long arg_size, long arg_align, bool if_clause, unsigned flags,
+               void** depend, int priority, void* detach) {
+  using Fn = void (*)(void (*)(void*), void*, void (*)(void*, void*), long,
+                      long, bool, unsigned, void**, int, void*);
+  static const Fn real = resolve<Fn>("GOMP_task");
+  // Build the wrapped payload up front (header + a copy of the task
+  // arguments at their original alignment): the original cpyfn, if any,
+  // runs here in the creating thread, which matches its firstprivate
+  // semantics. libgomp is handed only a pointer to this block, so its own
+  // internal copy — made AFTER our release and therefore impossible to
+  // order — carries nothing the instrumented code ever reads; the
+  // uninstrumented task_trampoline recovers the pointer (see above).
+  const long align =
+      arg_align > static_cast<long>(alignof(TaskHeader))
+          ? arg_align
+          : static_cast<long>(alignof(TaskHeader));
+  const long offset =
+      (static_cast<long>(sizeof(TaskHeader)) + align - 1) / align * align;
+  const long total = offset + arg_size;
+  char* buf = static_cast<char*>(::operator new(
+      static_cast<std::size_t>(total),
+      std::align_val_t{static_cast<std::size_t>(align)}));
+  auto* header = new (buf) TaskHeader{fn, offset, align};
+  if (cpyfn != nullptr)
+    cpyfn(buf + offset, data);
+  else
+    std::memcpy(buf + offset, data, static_cast<std::size_t>(arg_size));
+  __tsan_release(&task_tag);
+  void* arg = header;
+  real(task_trampoline, &arg, nullptr, static_cast<long>(sizeof(void*)),
+       static_cast<long>(alignof(void*)), if_clause, flags, depend, priority,
+       detach);
+  // The block is freed by run_task in whichever thread executes the task
+  // (possibly this one, synchronously, for undeferred tasks).
+}
+
+}  // extern "C"
+
+#endif  // __SANITIZE_THREAD__

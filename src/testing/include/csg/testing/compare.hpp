@@ -1,0 +1,53 @@
+// ULP-aware floating point comparison for the differential oracles.
+//
+// Cross-algorithm checks need two regimes: the compact-structure transforms
+// (iterative, pole-based, OpenMP) are bit-identical by construction, so they
+// compare with 0 ULPs; the recursive baselines accumulate the same sums in a
+// different association order, so they compare within a small ULP budget
+// that — unlike an absolute epsilon — stays meaningful across magnitudes.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "csg/core/types.hpp"
+
+namespace csg::testing {
+
+/// Distance between two doubles in units of representable values, i.e. how
+/// many doubles lie between a and b. 0 iff bit-identical up to -0.0 == 0.0;
+/// infinite (max) if either is NaN. Works across the sign boundary by
+/// mapping the IEEE-754 bit patterns onto a single monotone integer line.
+inline std::uint64_t ulp_distance(real_t a, real_t b) {
+  static_assert(sizeof(real_t) == sizeof(std::uint64_t));
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<std::uint64_t>::max();
+  auto ordered = [](real_t v) -> std::int64_t {
+    const auto bits = std::bit_cast<std::int64_t>(v);
+    // Negative floats order in reverse bit order; reflect them below zero.
+    return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits : bits;
+  };
+  const std::int64_t ia = ordered(a), ib = ordered(b);
+  return ia > ib ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+                 : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+inline bool almost_equal_ulps(real_t a, real_t b, std::uint64_t max_ulps) {
+  return ulp_distance(a, b) <= max_ulps;
+}
+
+/// "a=... b=... (N ulps apart)" — the comparison half of an oracle failure
+/// message, with full round-trip precision so the values can be re-derived.
+inline std::string describe_mismatch(real_t a, real_t b) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "a=" << a << " b=" << b << " (" << ulp_distance(a, b)
+     << " ulps apart)";
+  return os.str();
+}
+
+}  // namespace csg::testing

@@ -1,0 +1,118 @@
+// Deterministic test-input generators — the single RNG convention for every
+// randomized test and benchmark in the repository.
+//
+// All generators draw from a caller-owned std::mt19937_64, so one seed fully
+// determines a test case: shape, coefficients, and evaluation points. The
+// property harness (property.hpp) derives per-iteration seeds from a base
+// seed with splitmix64, prints the failing one, and replays it from the
+// CSG_PROPERTY_SEED environment variable.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "csg/core/compact_storage.hpp"
+#include "csg/core/regular_grid.hpp"
+
+namespace csg::testing {
+
+/// splitmix64: the standard 64-bit seed scrambler. Used to derive stream
+/// seeds (iteration k of base seed s -> mix_seed(s + k)) so that nearby
+/// base seeds still yield unrelated streams.
+inline std::uint64_t mix_seed(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct GridShape {
+  dim_t d;
+  level_t n;
+};
+
+/// Bounds for random_shape. max_points caps N(d, n) so that a property
+/// iteration's cost stays bounded no matter which (d, n) the RNG picks.
+struct ShapeConstraints {
+  dim_t min_dim = 1;
+  dim_t max_dim = 6;
+  level_t min_level = 1;
+  level_t max_level = 8;
+  flat_index_t max_points = 200'000;
+};
+
+/// Uniform dimension, then a level uniform over those levels whose grid
+/// fits the point budget (at least min_level is always admitted).
+inline GridShape random_shape(std::mt19937_64& rng,
+                              const ShapeConstraints& c = {}) {
+  CSG_EXPECTS(c.min_dim >= 1 && c.min_dim <= c.max_dim &&
+              c.max_dim <= kMaxDim);
+  CSG_EXPECTS(c.min_level >= 1 && c.min_level <= c.max_level &&
+              c.max_level <= kMaxLevel);
+  const auto d = static_cast<dim_t>(
+      std::uniform_int_distribution<unsigned>(c.min_dim, c.max_dim)(rng));
+  level_t feasible = c.min_level;
+  while (feasible < c.max_level &&
+         regular_grid_num_points(d, feasible + 1) <= c.max_points)
+    ++feasible;
+  const auto n = static_cast<level_t>(
+      std::uniform_int_distribution<unsigned>(c.min_level, feasible)(rng));
+  return {d, n};
+}
+
+/// A grid function with i.i.d. uniform coefficients in [lo, hi]. Not sampled
+/// from any smooth function on purpose: the algebraic identities under test
+/// (round trips, cross-algorithm parity, bijections) must hold for
+/// arbitrary data, not just for interpolants of nice functions.
+inline CompactStorage random_coefficients(std::mt19937_64& rng, dim_t d,
+                                          level_t n, real_t lo = -2,
+                                          real_t hi = 2) {
+  CompactStorage s(d, n);
+  std::uniform_real_distribution<real_t> dist(lo, hi);
+  for (flat_index_t j = 0; j < s.size(); ++j) s[j] = dist(rng);
+  return s;
+}
+
+inline CompactStorage random_coefficients(std::mt19937_64& rng,
+                                          const GridShape& shape,
+                                          real_t lo = -2, real_t hi = 2) {
+  return random_coefficients(rng, shape.d, shape.n, lo, hi);
+}
+
+/// `count` i.i.d. uniform points in [0,1]^d drawn from the shared RNG
+/// stream (unlike workloads::uniform_points, which owns its seed — use
+/// that one when a fixed, named point cloud is wanted).
+inline std::vector<CoordVector> random_points(std::mt19937_64& rng, dim_t d,
+                                              std::size_t count) {
+  CSG_EXPECTS(d >= 1 && d <= kMaxDim);
+  std::uniform_real_distribution<real_t> dist(0, 1);
+  std::vector<CoordVector> pts(count, CoordVector(d));
+  for (auto& p : pts)
+    for (dim_t t = 0; t < d; ++t) p[t] = dist(rng);
+  return pts;
+}
+
+/// A uniformly random point of the grid itself: flat index first, decoded
+/// through idx2gp. Used by the sampled bijection checks and by access
+/// microbenchmarks that want an unbiased point mix.
+inline GridPoint random_grid_point(std::mt19937_64& rng,
+                                   const RegularSparseGrid& grid) {
+  std::uniform_int_distribution<flat_index_t> dist(0, grid.num_points() - 1);
+  return grid.idx2gp(dist(rng));
+}
+
+/// Random subset of `k` distinct dimensions out of `d`, sorted ascending —
+/// the `kept` argument of restrict_to_plane.
+inline DimVector<dim_t> random_kept_dims(std::mt19937_64& rng, dim_t d,
+                                         dim_t k) {
+  CSG_EXPECTS(k >= 1 && k <= d);
+  DimVector<dim_t> all(d);
+  for (dim_t t = 0; t < d; ++t) all[t] = t;
+  std::shuffle(all.begin(), all.end(), rng);
+  DimVector<dim_t> kept(all.begin(), all.begin() + k);
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace csg::testing

@@ -1,0 +1,58 @@
+// Property-test harness: run a randomized check across many derived seeds,
+// report the exact seed of the first failure, and replay a single seed from
+// the CSG_PROPERTY_SEED environment variable.
+//
+// Protocol: a property body receives a freshly seeded std::mt19937_64 and
+// returns an empty string on success or a failure description. The harness
+// seeds iteration k with mix_seed(base_seed + k) and runs until the first
+// failure; when CSG_PROPERTY_SEED is set it runs exactly one iteration with
+// that seed, which is the deterministic replay of a reported failure:
+//
+//   [  FAILED  ] property 'round_trip' seed 0x1c8e...  <detail>
+//   $ CSG_PROPERTY_SEED=0x1c8e... ctest -R round_trip   # reproduces it
+//
+// The harness is gtest-agnostic (csgtool selfcheck uses it too); tests
+// funnel a PropertyResult through EXPECT_TRUE(r.passed) << r.detail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <random>
+#include <string>
+
+namespace csg::testing {
+
+struct PropertyConfig {
+  std::string name;
+  int iterations = 16;
+  std::uint64_t base_seed = 0x5eedc0ffee5eedull;
+};
+
+struct PropertyResult {
+  bool passed = true;
+  int iterations_run = 0;
+  /// Seed of the failing iteration (valid iff !passed). Exporting it via
+  /// CSG_PROPERTY_SEED reruns exactly that case.
+  std::uint64_t failing_seed = 0;
+  /// Human-readable failure report, including the replay instructions.
+  std::string detail;
+
+  explicit operator bool() const { return passed; }
+};
+
+/// Body contract: empty string = pass, otherwise a failure description.
+using PropertyBody = std::function<std::string(std::mt19937_64&)>;
+
+/// The CSG_PROPERTY_SEED override, if set ("0x..." hex or decimal);
+/// std::nullopt when unset or unparsable.
+std::optional<std::uint64_t> seed_from_env();
+
+/// Run `body` for cfg.iterations derived seeds (or for exactly the
+/// CSG_PROPERTY_SEED seed when the environment overrides), stopping at the
+/// first failure. Failures are also printed to stderr immediately so the
+/// replay line survives even if the caller swallows the result.
+PropertyResult run_property(const PropertyConfig& cfg,
+                            const PropertyBody& body);
+
+}  // namespace csg::testing

@@ -1,0 +1,58 @@
+#include "csg/testing/property.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "csg/testing/generators.hpp"
+
+namespace csg::testing {
+
+std::optional<std::uint64_t> seed_from_env() {
+  const char* raw = std::getenv("CSG_PROPERTY_SEED");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 0);  // 0x.. or dec
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr,
+                 "csg::testing: ignoring unparsable CSG_PROPERTY_SEED='%s'\n",
+                 raw);
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+PropertyResult run_property(const PropertyConfig& cfg,
+                            const PropertyBody& body) {
+  PropertyResult result;
+  const std::optional<std::uint64_t> replay = seed_from_env();
+
+  auto run_one = [&](std::uint64_t seed) -> bool {
+    std::mt19937_64 rng(seed);
+    std::string failure = body(rng);
+    ++result.iterations_run;
+    if (failure.empty()) return true;
+    result.passed = false;
+    result.failing_seed = seed;
+    std::ostringstream os;
+    os << "property '" << cfg.name << "' failed at seed 0x" << std::hex
+       << seed << std::dec << ": " << failure
+       << "\n  replay: CSG_PROPERTY_SEED=0x" << std::hex << seed << std::dec
+       << " <this test>";
+    result.detail = os.str();
+    std::fprintf(stderr, "csg::testing: %s\n", result.detail.c_str());
+    return false;
+  };
+
+  if (replay.has_value()) {
+    // Environment override: deterministic replay of one reported seed.
+    run_one(*replay);
+    return result;
+  }
+  for (int k = 0; k < cfg.iterations; ++k)
+    if (!run_one(mix_seed(cfg.base_seed + static_cast<std::uint64_t>(k))))
+      break;
+  return result;
+}
+
+}  // namespace csg::testing

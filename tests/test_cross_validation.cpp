@@ -1,8 +1,10 @@
 // Randomized cross-validation: every representation in the library —
 // compact, truncated, adaptive, combination, restriction, serialization —
-// must describe the SAME function when built from the same data. Seeds
-// drive randomized shapes and coefficients so each run covers fresh
-// territory deterministically.
+// must describe the SAME function when built from the same data. Shapes,
+// coefficients, and probe points all come from csg::testing's generators,
+// and the storage-vs-baseline comparisons run through its differential
+// oracles, so each seed fully determines a test case and a failing seed
+// replays via CSG_PROPERTY_SEED (see docs/TESTING.md).
 #include <gtest/gtest.h>
 
 #include <random>
@@ -12,67 +14,64 @@
 #include "csg/combination/combination_grid.hpp"
 #include "csg/core.hpp"
 #include "csg/io/serialize.hpp"
+#include "csg/testing/bijection.hpp"
+#include "csg/testing/generators.hpp"
+#include "csg/testing/oracles.hpp"
 #include "csg/workloads/sampling.hpp"
 
 namespace csg {
 namespace {
 
+using testing::GridShape;
+using testing::ShapeConstraints;
+
 class CrossValidation : public ::testing::TestWithParam<std::uint64_t> {
  protected:
   std::mt19937_64 rng{GetParam()};
 
-  dim_t random_dim(dim_t lo, dim_t hi) {
-    return static_cast<dim_t>(
-        std::uniform_int_distribution<unsigned>(lo, hi)(rng));
-  }
-  level_t random_level(level_t lo, level_t hi) {
-    return static_cast<level_t>(
-        std::uniform_int_distribution<unsigned>(lo, hi)(rng));
-  }
-
-  /// Random coefficients, not sampled from any smooth function: the
-  /// algebra must hold for arbitrary data.
-  CompactStorage random_grid_function(dim_t d, level_t n) {
-    CompactStorage s(d, n);
-    std::uniform_real_distribution<real_t> dist(-2, 2);
-    for (flat_index_t j = 0; j < s.size(); ++j) s[j] = dist(rng);
-    return s;
+  GridShape random_shape(dim_t min_d, dim_t max_d, level_t min_n,
+                         level_t max_n,
+                         flat_index_t max_points = 200'000) {
+    ShapeConstraints c;
+    c.min_dim = min_d;
+    c.max_dim = max_d;
+    c.min_level = min_n;
+    c.max_level = max_n;
+    c.max_points = max_points;
+    return testing::random_shape(rng, c);
   }
 };
 
-TEST_P(CrossValidation, HierarchizeDehierarchizeRoundTripOnRandomData) {
-  const dim_t d = random_dim(1, 5);
-  const level_t n = random_level(2, 6 - d / 2);
-  CompactStorage s = random_grid_function(d, n);
-  const std::vector<real_t> original = s.values();
-  hierarchize(s);
-  dehierarchize(s);
-  for (flat_index_t j = 0; j < s.size(); ++j)
-    ASSERT_NEAR(s[j], original[static_cast<std::size_t>(j)], 1e-10);
+TEST_P(CrossValidation, TransformOraclesOnRandomData) {
+  // The full differential battery: hierarchize parity across the
+  // iterative/literal/poles/OpenMP family and the map/hash/prefix-tree
+  // baselines, round trips through every (de)hierarchize pairing, evaluate
+  // parity across the batched/blocked/OpenMP paths, and the serialize
+  // round trip — all on one random shape + coefficient field per seed.
+  const GridShape shape = random_shape(1, 5, 2, 6, 20'000);
+  const CompactStorage nodal = testing::random_coefficients(rng, shape);
+  const testing::OracleResult r = testing::check_all(nodal, rng);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(r.comparisons, 0u);
 }
 
 TEST_P(CrossValidation, AllRepresentationsAgreeOnRandomCoefficients) {
-  const dim_t d = random_dim(2, 4);
-  const level_t n = random_level(3, 4);
+  const GridShape shape = random_shape(2, 4, 3, 4);
   // Hierarchical coefficients drawn at random; fs is their interpolant.
-  CompactStorage compact = random_grid_function(d, n);
+  CompactStorage compact = testing::random_coefficients(rng, shape);
+  const dim_t d = shape.d;
+  const level_t n = shape.n;
 
   // Truncated with eps = 0 is lossless.
   const TruncatedStorage truncated(compact, 0);
 
   // Nodal values of fs feed the adaptive grid (regular init).
-  CompactStorage nodal = compact;
-  dehierarchize(nodal);
   adaptive::AdaptiveSparseGrid adaptive_grid(d, n);
-  {
-    std::size_t cursor = 0;
-    (void)cursor;
-    adaptive_grid.sample([&](const CoordVector& x) {
-      // The adaptive grid's points coincide with the regular grid's; read
-      // the nodal value through evaluation of the dehierarchized data.
-      return evaluate(compact, x);
-    });
-  }
+  adaptive_grid.sample([&](const CoordVector& x) {
+    // The adaptive grid's points coincide with the regular grid's; read
+    // the nodal value through evaluation of the hierarchical data.
+    return evaluate(compact, x);
+  });
   adaptive_grid.hierarchize();
 
   // The combination technique samples fs at its component grid points;
@@ -85,8 +84,7 @@ TEST_P(CrossValidation, AllRepresentationsAgreeOnRandomCoefficients) {
   io::save(compact, blob);
   const CompactStorage reloaded = io::load(blob);
 
-  for (const CoordVector& x :
-       workloads::uniform_points(d, 60, GetParam() ^ 0xabcd)) {
+  for (const CoordVector& x : testing::random_points(rng, d, 60)) {
     const real_t reference = evaluate(compact, x);
     ASSERT_EQ(truncated.evaluate(x), reference);
     ASSERT_EQ(evaluate(reloaded, x), reference);
@@ -96,52 +94,45 @@ TEST_P(CrossValidation, AllRepresentationsAgreeOnRandomCoefficients) {
 }
 
 TEST_P(CrossValidation, RestrictionAgreesAtRandomPlanes) {
-  const dim_t d = random_dim(3, 5);
-  const level_t n = random_level(3, 4);
-  const CompactStorage full = random_grid_function(d, n);
+  const GridShape shape = random_shape(3, 5, 3, 4);
+  const dim_t d = shape.d;
+  const CompactStorage full = testing::random_coefficients(rng, shape);
 
   // Random kept subset of size 1..d-1.
-  const dim_t k = random_dim(1, d - 1);
-  std::vector<dim_t> all(d);
-  for (dim_t t = 0; t < d; ++t) all[t] = t;
-  std::shuffle(all.begin(), all.end(), rng);
-  DimVector<dim_t> kept(all.begin(), all.begin() + k);
-  std::sort(kept.begin(), kept.end());
+  const auto k = static_cast<dim_t>(
+      std::uniform_int_distribution<unsigned>(1, d - 1)(rng));
+  const DimVector<dim_t> kept = testing::random_kept_dims(rng, d, k);
 
   std::uniform_real_distribution<real_t> coord(0, 1);
   CoordVector anchor(d - k);
   for (real_t& a : anchor) a = coord(rng);
 
   const CompactStorage slice = restrict_to_plane(full, kept, anchor);
-  for (int trial = 0; trial < 40; ++trial) {
-    CoordVector x(k);
-    for (real_t& v : x) v = coord(rng);
+  for (const CoordVector& x : testing::random_points(rng, k, 40))
     ASSERT_NEAR(evaluate(slice, x),
                 evaluate(full, embed_in_plane(d, kept, anchor, x)), 1e-11);
-  }
 }
 
 TEST_P(CrossValidation, Gp2IdxFuzzAcrossRandomShapes) {
-  const dim_t d = random_dim(1, kMaxDim);
-  const level_t max_n = d <= 4 ? 10 : (d <= 8 ? 6 : 4);
-  const level_t n = random_level(1, max_n);
-  RegularSparseGrid g(d, n);
-  std::uniform_int_distribution<flat_index_t> dist(0, g.num_points() - 1);
-  for (int trial = 0; trial < 500; ++trial) {
-    const flat_index_t idx = dist(rng);
-    const GridPoint gp = g.idx2gp(idx);
-    ASSERT_TRUE(g.contains(gp));
-    ASSERT_EQ(g.gp2idx(gp), idx);
-  }
+  // Levels chosen so num_points stays small even at kMaxDim; the exhaustive
+  // sweep lives in `csgtool selfcheck` and the Bijection tests.
+  ShapeConstraints c;
+  c.max_dim = kMaxDim;
+  c.max_level = 10;
+  c.max_points = 2'000'000;
+  const GridShape shape = testing::random_shape(rng, c);
+  const RegularSparseGrid g(shape.d, shape.n);
+  const testing::BijectionReport report =
+      testing::verify_bijection_sampled(g, rng, 500);
+  ASSERT_TRUE(report.ok) << report.detail;
 }
 
 TEST_P(CrossValidation, GradientConsistentWithValueOnRandomData) {
-  const dim_t d = random_dim(1, 4);
-  const level_t n = random_level(2, 5);
-  const CompactStorage s = random_grid_function(d, n);
+  const GridShape shape = random_shape(1, 4, 2, 5);
+  const CompactStorage s = testing::random_coefficients(rng, shape);
   std::uniform_real_distribution<real_t> coord(0.01, 0.99);
   for (int trial = 0; trial < 30; ++trial) {
-    CoordVector x(d);
+    CoordVector x(shape.d);
     for (real_t& v : x) v = coord(rng);
     const ValueAndGradient vg = evaluate_with_gradient(s, x);
     ASSERT_NEAR(vg.value, evaluate(s, x), 1e-11);
@@ -149,9 +140,10 @@ TEST_P(CrossValidation, GradientConsistentWithValueOnRandomData) {
 }
 
 TEST_P(CrossValidation, IntegralMatchesDenseQuadratureOnRandomData) {
-  const dim_t d = random_dim(1, 3);
-  const level_t n = random_level(2, 4);
-  const CompactStorage s = random_grid_function(d, n);
+  const GridShape shape = random_shape(1, 3, 2, 4);
+  const dim_t d = shape.d;
+  const level_t n = shape.n;
+  const CompactStorage s = testing::random_coefficients(rng, shape);
   // Midpoint-rule quadrature fine enough to resolve every cell exactly in
   // expectation terms: use 4x the finest resolution per dimension.
   const int cells = 1 << (n + 2);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 #include "csg/baselines/map_storages.hpp"
 #include "csg/baselines/prefix_tree_storage.hpp"
 #include "csg/workloads/functions.hpp"
@@ -11,6 +15,20 @@ namespace csg::parallel {
 namespace {
 
 using baselines::sample;
+
+/// 1, 2, a couple of odd counts, and hardware_concurrency() + 3 so the
+/// sweep always includes an oversubscribed configuration (more threads than
+/// cores forces preemption mid-region, which is what shakes out missing
+/// barriers under the TSan lane). Deduplicated: on small machines hw + 3
+/// can collide with the fixed counts, and gtest requires unique suffixes.
+std::vector<int> thread_counts() {
+  std::vector<int> counts{1, 2, 3, 8};
+  const unsigned hw = std::thread::hardware_concurrency();
+  counts.push_back(static_cast<int>(hw == 0 ? 4 : hw) + 3);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
 
 class ThreadSweep : public ::testing::TestWithParam<int> {};
 
@@ -106,7 +124,73 @@ TEST_P(ThreadSweep, OmpRecursiveEvaluationOverBaselines) {
     EXPECT_NEAR(got[p], expected[p], 1e-13);
 }
 
-INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 3, 8),
+TEST_P(ThreadSweep, OmpPoleAndGroupSchemesAgree) {
+  // The two parallel decompositions (per-level-group barriers vs.
+  // independent poles) must land on identical bits for any thread count —
+  // they are the same arithmetic, only scheduled differently.
+  const int threads = GetParam();
+  const dim_t d = 4;
+  const level_t n = 5;
+  CompactStorage groups(d, n), poles(d, n);
+  groups.sample(workloads::oscillatory(d).f);
+  poles.sample(workloads::oscillatory(d).f);
+  omp_hierarchize(groups, threads);
+  omp_hierarchize_poles(poles, threads);
+  for (flat_index_t j = 0; j < groups.size(); ++j)
+    ASSERT_EQ(groups[j], poles[j]) << "threads=" << threads << " idx=" << j;
+}
+
+TEST_P(ThreadSweep, OmpBlockedEvaluateEdgeBlockSizes) {
+  // Degenerate blockings must not change results or crash: one point per
+  // block (maximal scheduling overhead), a block larger than the whole
+  // point set (single block), and a size that does not divide the count
+  // (ragged final block).
+  const int threads = GetParam();
+  const dim_t d = 3;
+  CompactStorage s(d, 5);
+  s.sample(workloads::oscillatory(d).f);
+  hierarchize(s);
+  const auto pts = workloads::uniform_points(d, 103, 19);  // prime count
+  const auto expected = evaluate_many(s, pts);
+  for (const std::size_t block :
+       {std::size_t{1}, pts.size() + 17, std::size_t{16}, std::size_t{64}}) {
+    const auto got = omp_evaluate_many_blocked(s, pts, block, threads);
+    ASSERT_EQ(got.size(), expected.size()) << "block=" << block;
+    for (std::size_t p = 0; p < pts.size(); ++p)
+      ASSERT_EQ(got[p], expected[p])
+          << "threads=" << threads << " block=" << block << " point=" << p;
+  }
+}
+
+TEST_P(ThreadSweep, OmpBlockedEvaluateEmptyPointSet) {
+  const int threads = GetParam();
+  CompactStorage s(2, 4);
+  s.sample(workloads::gaussian_bump(2).f);
+  hierarchize(s);
+  const std::vector<CoordVector> none;
+  EXPECT_TRUE(omp_evaluate_many_blocked(s, none, 8, threads).empty());
+  EXPECT_TRUE(omp_evaluate_many(s, none, threads).empty());
+}
+
+TEST_P(ThreadSweep, OmpBlockedEvaluateBitIdenticalToSpanWalk) {
+  // evaluate_span_walk is the no-plan reference for Alg. 7; the entire
+  // evaluation family — plan-based, blocked, threaded — is defined to be
+  // bit-identical to it, so EXPECT_EQ, not EXPECT_NEAR.
+  const int threads = GetParam();
+  const dim_t d = 4;
+  CompactStorage s(d, 4);
+  s.sample(workloads::parabola_product(d).f);
+  hierarchize(s);
+  const auto pts = workloads::uniform_points(d, 61, 5);
+  const auto got = omp_evaluate_many_blocked(s, pts, 7, threads);
+  ASSERT_EQ(got.size(), pts.size());
+  for (std::size_t p = 0; p < pts.size(); ++p)
+    ASSERT_EQ(got[p], evaluate_span_walk(s.grid(), s.values(), pts[p]))
+        << "threads=" << threads << " point=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::ValuesIn(thread_counts()),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "t" + std::to_string(info.param);
                          });

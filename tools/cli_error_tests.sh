@@ -1,0 +1,91 @@
+#!/bin/sh
+# Exit-code and usage-path battery for csgtool. Usage errors must exit 2
+# with a "usage:" banner; runtime errors (missing/corrupt file) exit 1; a
+# crash or a surprise success fails the battery. Run under ctest as
+#   sh cli_error_tests.sh /path/to/csgtool
+set -u
+
+CSGTOOL=${1:?usage: cli_error_tests.sh /path/to/csgtool}
+WORK=$(mktemp -d) || exit 1
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+# expect <exit-code> <grep-pattern-on-stderr|-> <args...>
+expect() {
+    want_code=$1
+    want_pattern=$2
+    shift 2
+    "$CSGTOOL" "$@" >"$WORK/out" 2>"$WORK/err"
+    got_code=$?
+    if [ "$got_code" -ne "$want_code" ]; then
+        echo "FAIL: csgtool $* -> exit $got_code, want $want_code" >&2
+        FAILURES=$((FAILURES + 1))
+        return
+    fi
+    if [ "$want_pattern" != "-" ] && ! grep -q "$want_pattern" "$WORK/err"; then
+        echo "FAIL: csgtool $* -> stderr lacks '$want_pattern':" >&2
+        sed 's/^/    /' "$WORK/err" >&2
+        FAILURES=$((FAILURES + 1))
+    fi
+}
+
+# A small valid grid for the subcommands that need an input file.
+"$CSGTOOL" create --dims 3 --level 4 --function gaussian_bump \
+    -o "$WORK/g.csg" >/dev/null || { echo "FAIL: setup create" >&2; exit 1; }
+
+# --- no / unknown subcommand ------------------------------------------------
+expect 2 "usage:"
+expect 2 "usage:" frobnicate
+expect 2 "usage:" info          # missing file operand
+
+# --- create: d / n bounds, unknown function ---------------------------------
+expect 2 "usage:" create --dims 0 --level 5 -o "$WORK/x.csg"
+expect 2 "usage:" create --dims 99 --level 5 -o "$WORK/x.csg"
+expect 2 "usage:" create --dims 3 --level 0 -o "$WORK/x.csg"
+expect 2 "usage:" create --dims 3 --level 99 -o "$WORK/x.csg"
+expect 2 "usage:" create --dims not-a-number --level 5 -o "$WORK/x.csg"
+expect 2 "unknown function" create --dims 3 --level 4 --function nope -o "$WORK/x.csg"
+
+# --- eval: arity and domain -------------------------------------------------
+expect 2 "expected 3 coordinates" eval "$WORK/g.csg" 0.5
+expect 2 "expected 3 coordinates" eval "$WORK/g.csg" 0.1 0.2 0.3 0.4
+expect 2 "must be in" eval "$WORK/g.csg" 0.5 1.5 0.5
+expect 2 "must be in" eval "$WORK/g.csg" 0.5 -0.5 0.5
+
+# --- evalbatch: positive counts required ------------------------------------
+expect 2 "usage:" evalbatch "$WORK/g.csg" --points 0
+expect 2 "usage:" evalbatch "$WORK/g.csg" --block 0
+expect 2 "usage:" evalbatch "$WORK/g.csg" --threads 0
+expect 2 "usage:" evalbatch "$WORK/g.csg" --threads -3
+
+# --- restrict: keep list and anchor validation ------------------------------
+expect 2 "usage:" restrict "$WORK/g.csg" --keep 0,1,2 --anchor 0.5 -o "$WORK/s.csg"   # keeps all dims
+expect 2 "usage:" restrict "$WORK/g.csg" --keep 0,7 --anchor 0.5 -o "$WORK/s.csg"     # out of range
+expect 2 "usage:" restrict "$WORK/g.csg" --keep 1,1 --anchor 0.5 -o "$WORK/s.csg"     # duplicate
+expect 2 "usage:" restrict "$WORK/g.csg" --keep 2,0 --anchor 0.5 -o "$WORK/s.csg"     # unsorted
+expect 2 "usage:" restrict "$WORK/g.csg" --keep 0 --anchor 1.5 -o "$WORK/s.csg"       # anchor > 1
+expect 2 "usage:" restrict "$WORK/g.csg" --keep 0 --anchor -0.5 -o "$WORK/s.csg"      # anchor < 0
+
+# --- slice: dimension validation --------------------------------------------
+expect 2 "usage:" slice "$WORK/g.csg" --dimx 0 --dimy 0
+expect 2 "usage:" slice "$WORK/g.csg" --dimx 0 --dimy 9
+expect 2 "usage:" slice "$WORK/g.csg" --dimx 9 --dimy 1
+
+# --- selfcheck: bound validation --------------------------------------------
+expect 2 "usage:" selfcheck --dmax 0
+expect 2 "usage:" selfcheck --dmax 99
+expect 2 "usage:" selfcheck --nmax 0
+expect 2 "usage:" selfcheck --budget 0
+expect 2 "usage:" selfcheck --trials 0
+
+# --- runtime errors: missing / corrupt input exit 1, not 2 ------------------
+expect 1 "csgtool:" info /nonexistent/no.csg
+expect 1 "csgtool:" eval /nonexistent/no.csg 0.5 0.5 0.5
+printf 'CSGX' > "$WORK/bad.csg"
+expect 1 "csgtool:" info "$WORK/bad.csg"
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "cli_error_tests: $FAILURES failure(s)" >&2
+    exit 1
+fi
+echo "cli_error_tests: all checks passed"

@@ -15,7 +15,9 @@
 // ASCII preview — the visualization front-end's per-frame request.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -25,6 +27,8 @@
 #include "csg/core.hpp"
 #include "csg/io/serialize.hpp"
 #include "csg/parallel/omp_algorithms.hpp"
+#include "csg/testing/bijection.hpp"
+#include "csg/testing/generators.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
 
@@ -45,6 +49,8 @@ int usage() {
                "                      [--width W] [--height H] [--pgm OUT]\n"
                "  csgtool compress F.csg --epsilon E -o F.csgt\n"
                "  csgtool restrict F.csg --keep A,B[,...] --anchor V -o G.csg\n"
+               "  csgtool selfcheck [--dmax D] [--nmax N] [--budget SEC]\n"
+               "                    [--trials K] [--seed S]\n"
                "functions: parabola_product gaussian_bump oscillatory\n"
                "           coarse_dlinear simulation_field\n");
   return 2;
@@ -277,6 +283,126 @@ int cmd_slice(const char* path, int argc, char** argv) {
   return 0;
 }
 
+/// N(d, n) if it fits 64-bit flat indices, -1 otherwise — the feasibility
+/// probe run before constructing a grid, whose constructor aborts on
+/// overflow by contract.
+long long grid_points_if_feasible(dim_t d, level_t n) {
+  const BinomialTable binmat(d - 1 + n);
+  unsigned __int128 total = 0;
+  for (level_t j = 0; j < n; ++j) {
+    total += static_cast<unsigned __int128>(num_subspaces(d, j, binmat)) << j;
+    if (total >= (static_cast<unsigned __int128>(1) << 62)) return -1;
+  }
+  return static_cast<long long>(total);
+}
+
+// Machine verification of the gp2idx <-> idx2gp bijection (Sec. 4, Alg. 5):
+// exhaustive for every (d <= dmax, n <= nmax) within the time budget,
+// randomized spot checks for every higher dimension up to kMaxDim. The
+// paper's whole storage scheme rests on this map being exact, so the check
+// is a first-class subcommand rather than test-only code.
+int cmd_selfcheck(int argc, char** argv) {
+  const auto dmax =
+      static_cast<dim_t>(std::atoi(flag_value(argc, argv, "--dmax", "6")));
+  const auto nmax =
+      static_cast<level_t>(std::atoi(flag_value(argc, argv, "--nmax", "8")));
+  const double budget = std::atof(flag_value(argc, argv, "--budget", "60"));
+  const auto trials = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--trials", "20000")));
+  const auto seed = static_cast<std::uint64_t>(
+      std::atoll(flag_value(argc, argv, "--seed", "1")));
+  if (dmax < 1 || dmax > kMaxDim || nmax < 1 || nmax > kMaxLevel ||
+      budget <= 0 || trials < 1)
+    return usage();
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  std::uint64_t exhaustive_points = 0, sampled_points = 0;
+  unsigned exhaustive_shapes = 0, sampled_shapes = 0, skipped_shapes = 0;
+  std::mt19937_64 rng(seed);
+  bool out_of_time = false;
+
+  for (dim_t d = 1; d <= dmax && !out_of_time; ++d) {
+    std::uint64_t points_for_d = 0;
+    for (level_t n = 1; n <= nmax; ++n) {
+      if (elapsed() > budget) {
+        out_of_time = true;
+        break;
+      }
+      const long long npts = grid_points_if_feasible(d, n);
+      if (npts < 0) {
+        ++skipped_shapes;
+        continue;
+      }
+      const RegularSparseGrid grid(d, n);
+      // Exhaustive enumeration for everything within reach; very large
+      // shapes inside the rectangle degrade to dense sampling so one huge
+      // (d, n) cannot eat the whole budget.
+      if (static_cast<std::uint64_t>(npts) <= 20'000'000ull) {
+        const auto report = testing::verify_bijection_exhaustive(grid);
+        if (!report.ok) {
+          std::fprintf(stderr, "selfcheck FAILED at d=%u n=%u: %s\n", d, n,
+                       report.detail.c_str());
+          return 1;
+        }
+        exhaustive_points += report.points_checked;
+        points_for_d += report.points_checked;
+        ++exhaustive_shapes;
+      } else {
+        const auto report =
+            testing::verify_bijection_sampled(grid, rng, trials);
+        if (!report.ok) {
+          std::fprintf(stderr, "selfcheck FAILED at d=%u n=%u: %s\n", d, n,
+                       report.detail.c_str());
+          return 1;
+        }
+        sampled_points += report.points_checked;
+        ++sampled_shapes;
+      }
+    }
+    std::printf("  d=%-2u  levels 1..%u  %12llu points exhaustive\n", d, nmax,
+                static_cast<unsigned long long>(points_for_d));
+  }
+
+  // Spot checks above the exhaustive rectangle: random flat indices on the
+  // largest feasible level per dimension, up to the hard dimension cap.
+  for (dim_t d = dmax + 1; d <= kMaxDim && !out_of_time; ++d) {
+    if (elapsed() > budget) {
+      out_of_time = true;
+      break;
+    }
+    level_t n = nmax;
+    while (n > 1 && grid_points_if_feasible(d, n) < 0) --n;
+    const RegularSparseGrid grid(d, n);
+    const auto report = testing::verify_bijection_sampled(grid, rng, trials);
+    if (!report.ok) {
+      std::fprintf(stderr, "selfcheck FAILED at d=%u n=%u: %s\n", d, n,
+                   report.detail.c_str());
+      return 1;
+    }
+    sampled_points += report.points_checked;
+    ++sampled_shapes;
+    std::printf("  d=%-2u  level %u       %12llu points sampled (of %lld)\n",
+                d, n, static_cast<unsigned long long>(report.points_checked),
+                grid_points_if_feasible(d, n));
+  }
+
+  std::printf(
+      "selfcheck %s: %llu points verified exhaustively (%u shapes), "
+      "%llu sampled trials (%u shapes), %u shapes beyond 64-bit skipped, "
+      "%.1f s\n",
+      out_of_time ? "INCOMPLETE (budget exhausted)" : "OK",
+      static_cast<unsigned long long>(exhaustive_points), exhaustive_shapes,
+      static_cast<unsigned long long>(sampled_points), sampled_shapes,
+      skipped_shapes, elapsed());
+  return out_of_time ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -296,6 +422,7 @@ int main(int argc, char** argv) {
       return cmd_compress(argv[2], argc - 3, argv + 3);
     if (cmd == "restrict" && argc >= 3)
       return cmd_restrict(argv[2], argc - 3, argv + 3);
+    if (cmd == "selfcheck") return cmd_selfcheck(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "csgtool: %s\n", e.what());
     return 1;
