@@ -92,7 +92,8 @@ int main(int argc, char** argv) {
   (void)sink;
   std::printf("\nhost gp2idx (d=%u): table %.1f ns/call, on-the-fly %.1f "
               "ns/call (%.1fx slower)\n",
-              d, table_s / pts.size() * 1e9, fly_s / pts.size() * 1e9,
+              d, table_s / static_cast<double>(pts.size()) * 1e9,
+              fly_s / static_cast<double>(pts.size()) * 1e9,
               fly_s / table_s);
   return 0;
 }

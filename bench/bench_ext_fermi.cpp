@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   std::printf("\nbinmat placement revisited on Fermi (the 'tune for Fermi' "
               "question, hierarchization at d=8):\n");
   std::printf("  %-14s %14s %14s\n", "binmat", "tesla (ms)", "fermi (ms)");
-  for (const auto [mode, name] :
+  for (const auto& [mode, name] :
        {std::pair{BinmatMode::kConstantCache, "constant"},
         std::pair{BinmatMode::kSharedMemory, "shared"},
         std::pair{BinmatMode::kGlobalCached, "global"},

@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "csg/core/evaluate.hpp"
 #include "csg/core/hierarchize.hpp"
+#include "csg/testing/generators.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
 
@@ -47,11 +48,10 @@ int main(int argc, char** argv) {
               level, static_cast<unsigned long long>(s.size()),
               static_cast<double>(s.memory_bytes()) / 1e9);
 
-  std::mt19937_64 rng(7);
-  std::uniform_int_distribution<flat_index_t> dist(0, s.size() - 1);
+  std::mt19937_64 rng(csg::testing::mix_seed(7));
   const double fuzz_s = csg::bench::time_s([&] {
     for (int k = 0; k < 100000; ++k) {
-      const flat_index_t j = dist(rng);
+      const flat_index_t j = csg::testing::random_flat_index(rng, s.grid());
       if (s.grid().gp2idx(s.grid().idx2gp(j)) != j) {
         std::printf("BIJECTION FAILURE at %llu\n",
                     static_cast<unsigned long long>(j));

@@ -14,6 +14,7 @@
 #include "csg/core/compact_storage.hpp"
 #include "csg/memsim/scaling.hpp"
 #include "csg/memsim/traced_storages.hpp"
+#include "csg/testing/generators.hpp"
 #include "csg/workloads/sampling.hpp"
 
 namespace {
@@ -28,12 +29,8 @@ template <GridStorage S>
 double ns_per_get(dim_t d, level_t n, std::uint64_t seed) {
   S storage(d, n);
   sample(storage, [](const CoordVector&) { return 1.0; });
-  std::vector<GridPoint> tour;
-  tour.reserve(static_cast<std::size_t>(storage.grid().num_points()));
-  for (flat_index_t j = 0; j < storage.grid().num_points(); ++j)
-    tour.push_back(storage.grid().idx2gp(j));
-  std::mt19937_64 rng(seed);
-  std::shuffle(tour.begin(), tour.end(), rng);
+  std::mt19937_64 rng(csg::testing::mix_seed(seed));
+  const auto tour = csg::testing::shuffled_grid_tour(rng, storage.grid());
   volatile real_t sink = 0;
   const double secs = csg::bench::time_per_call_s([&] {
     real_t acc = 0;
@@ -49,11 +46,8 @@ std::pair<double, double> refs_and_misses_per_get(dim_t d, level_t n) {
   memsim::CacheHierarchy caches = memsim::CacheHierarchy::nehalem_core();
   TS storage(RegularSparseGrid(d, n), &caches);
   sample(storage, [](const CoordVector&) { return 1.0; });
-  std::vector<GridPoint> tour;
-  for (flat_index_t j = 0; j < storage.grid().num_points(); ++j)
-    tour.push_back(storage.grid().idx2gp(j));
-  std::mt19937_64 rng(17);
-  std::shuffle(tour.begin(), tour.end(), rng);
+  std::mt19937_64 rng(csg::testing::mix_seed(17));
+  const auto tour = csg::testing::shuffled_grid_tour(rng, storage.grid());
   caches.flush();
   caches.reset_counters();
   for (const GridPoint& gp : tour) (void)storage.get(gp.level, gp.index);

@@ -66,7 +66,8 @@ int main() {
     CompactStorage s(2, n);
     s.sample(f2.f);
     hierarchize(s);
-    const double full_pts = std::pow((1 << n) - 1, 2);
+    const double full_pts =
+        std::pow(static_cast<double>((std::int64_t{1} << n) - 1), 2);
     std::printf("  %-7u %15llu %15.0f %18.3e\n", n,
                 static_cast<unsigned long long>(s.size()), full_pts,
                 max_error(s, f2, probes2));

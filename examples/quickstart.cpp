@@ -35,7 +35,8 @@ int main() {
   std::printf("sparse grid: d=%u, level=%u, %llu points (%.2f MB)\n", d, n,
               static_cast<unsigned long long>(grid_function.size()),
               static_cast<double>(grid_function.memory_bytes()) / 1e6);
-  const double full_grid_points = std::pow((1 << n) - 1, d);
+  const double full_grid_points =
+      std::pow(static_cast<double>((std::int64_t{1} << n) - 1), d);
   std::printf("full grid at the same resolution: %.3g points -> compression "
               "ratio %.0fx\n",
               full_grid_points,

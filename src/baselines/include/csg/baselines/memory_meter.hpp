@@ -54,11 +54,13 @@ class MeteredAllocator {
 
   T* allocate(std::size_t n) {
     meter_->charge(n * sizeof(T));
+    // csg-lint: allow-next(raw-alloc) -- the metering allocator IS the funnel all heap traffic is routed through
     return static_cast<T*>(::operator new(n * sizeof(T)));
   }
 
   void deallocate(T* p, std::size_t n) {
     meter_->refund(n * sizeof(T));
+    // csg-lint: allow-next(raw-alloc) -- release side of the metering funnel
     ::operator delete(p);
   }
 

@@ -127,6 +127,7 @@ class PrefixTreeStorage {
   Node* build_node(dim_t t, level_t budget) {
     meter_.charge(sizeof(Node));
     ++node_count_;
+    // csg-lint: allow-next(raw-alloc) -- baseline deliberately models per-node heap allocation (paper Table 1)
     Node* node = new Node(&meter_);
     const std::size_t slots = (std::size_t{2} << budget) - 1;
     if (t + 1 == grid_.dim()) {
@@ -144,6 +145,7 @@ class PrefixTreeStorage {
     if (t + 1 < grid_.dim())
       for (Node* child : node->children) destroy_node(child, t + 1);
     meter_.refund(sizeof(Node));
+    // csg-lint: allow-next(raw-alloc) -- matches the deliberate per-node new above
     delete node;
   }
 

@@ -8,7 +8,22 @@
 #include "csg/core/grid_point.hpp"
 #include "csg/core/hierarchize.hpp"
 
+#if defined(CSG_TSAN_GOMP_BRIDGE)
+namespace csg::parallel::detail {
+void tsan_gomp_bridge_anchor();
+}
+#endif
+
 namespace csg::combination {
+
+#if defined(CSG_TSAN_GOMP_BRIDGE)
+// Same anchor trick as omp_algorithms.cpp: this TU's schedule(dynamic)
+// loops call the GOMP_loop_nonmonotonic_dynamic_* entry points, so the
+// bridge object must be in the link even when the binary never touches
+// csg_parallel symbols (e.g. test_combination).
+[[maybe_unused]] static void (*const force_tsan_bridge)() =
+    &parallel::detail::tsan_gomp_bridge_anchor;
+#endif
 
 ComponentGrid::ComponentGrid(LevelVector level) : level_(level) {
   CSG_EXPECTS(!level.empty());
@@ -75,7 +90,7 @@ real_t ComponentGrid::interpolate(const CoordVector& x) const {
   }
   real_t result = 0;
   // Corner enumeration: bit c of mask selects right corner in dimension c.
-  for (std::uint32_t mask = 0; mask < (1u << dim()); ++mask) {
+  for (std::uint32_t mask = 0; mask < (std::uint32_t{1} << dim()); ++mask) {
     real_t w = 1;
     DimVector<std::size_t> k(dim());
     bool on_boundary = false;

@@ -75,6 +75,10 @@ inline std::uint64_t subspace_index(const LevelVector& l,
                                     const BinomialTable& binmat) {
   std::uint64_t sum = l[0];
   std::uint64_t rank = 0;
+  // The rank later feeds `subspace_index(l) << |l|_1` in subspace_offset
+  // (regular_grid.hpp), so it must carry the full 64-bit width the grid
+  // constructor's < 2^63 size guard admits (csg-lint shift-width anchor).
+  static_assert(sizeof(rank) == 8 && kMaxLevel < 64);
   for (dim_t t = 1; t < l.size(); ++t) {
     rank -= binmat(static_cast<std::uint32_t>(t + sum), t);
     sum += l[t];

@@ -82,6 +82,10 @@ class RegularSparseGrid {
   flat_index_t point_index_in_subspace(const LevelVector& l,
                                        const IndexVector& i) const {
     flat_index_t index1 = 0;
+    // The accumulated shift count is |l|_1 <= n - 1 < kMaxLevel, so the
+    // running index never shifts past the 64-bit accumulator (anchor for
+    // the csg-lint shift-width rule; widths pinned in types.hpp).
+    static_assert(sizeof(index1) == 8 && kMaxLevel < 64);
     for (dim_t t = 0; t < d_; ++t)
       index1 = (index1 << l[t]) + ((i[t] - 1) >> 1);
     return index1;

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <type_traits>
 
 namespace csg {
 
@@ -39,6 +40,21 @@ inline constexpr dim_t kMaxDim = 16;
 /// flat index arithmetic in gp2idx stays within uint64 for every (d, n) with
 /// d <= kMaxDim and n <= kMaxLevel.
 inline constexpr level_t kMaxLevel = 40;
+
+// Width anchors for the index arithmetic of gp2idx (Alg. 5). Every flat
+// accumulator of the form `index1 = (index1 << l[t]) + ...` relies on the
+// left operand being a 64-bit unsigned type and on the total shift count
+// |l|_1 <= kMaxLevel - 1 staying below that width; otherwise the shift is
+// UB or silently truncates at deep levels. The csg-lint shift-width rule
+// polices new call sites; these asserts pin the types the rule assumes.
+static_assert(std::is_unsigned_v<flat_index_t> && sizeof(flat_index_t) == 8,
+              "gp2idx accumulators must be 64-bit unsigned");
+static_assert(std::is_unsigned_v<index1d_t> && sizeof(index1d_t) == 8,
+              "1d spatial indices must be 64-bit unsigned");
+static_assert(kMaxLevel < 64,
+              "level sums must not shift past the 64-bit accumulator width");
+static_assert(std::is_unsigned_v<level_t> && std::is_unsigned_v<dim_t>,
+              "level/dimension counters are unsigned by contract");
 
 namespace detail {
 [[noreturn]] inline void contract_violation(const char* kind, const char* expr,

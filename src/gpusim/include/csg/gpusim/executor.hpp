@@ -259,7 +259,9 @@ class Launcher {
   std::uint64_t launch_count() const { return launch_count_; }
   /// Launch-weighted mean occupancy across all launches so far.
   double mean_occupancy() const {
-    return launch_count_ == 0 ? 1.0 : occupancy_sum_ / launch_count_;
+    return launch_count_ == 0
+               ? 1.0
+               : occupancy_sum_ / static_cast<double>(launch_count_);
   }
 
   void reset() {

@@ -83,12 +83,17 @@ flat_index_t device_gp2idx(ThreadCtx& th, const DeviceBinmat& binom,
                            const LevelVector& l, const IndexVector& i) {
   const dim_t d = l.size();
   flat_index_t index1 = 0;
+  // Device transcription keeps the host's accumulator widths: index1 and
+  // index2 both take shifts of up to |l|_1 < kMaxLevel < 64 bits (anchor
+  // for the csg-lint shift-width rule; see types.hpp).
+  static_assert(sizeof(index1) == 8 && kMaxLevel < 64);
   for (dim_t t = 0; t < d; ++t) {
     index1 = (index1 << l[t]) + ((i[t] - 1) >> 1);
     th.flop(3);
   }
   std::uint64_t sum = l[0];
   std::uint64_t index2 = 0;
+  static_assert(sizeof(index2) == 8, "index2 takes a << sum with sum < 64");
   for (dim_t t = 1; t < d; ++t) {
     index2 -= binom(th, static_cast<std::uint32_t>(t + sum), t);
     sum += l[t];
@@ -336,6 +341,7 @@ std::vector<real_t> gpu_evaluate(Launcher& launcher,
         for (std::uint64_t k = 0; k < subspaces; ++k) {
           real_t prod = 1;
           flat_index_t index1 = 0;
+          static_assert(sizeof(index1) == 8 && kMaxLevel < 64);
           for (dim_t t = 0; t < d; ++t) {
             (void)ls.read(th, t);  // billed l access; value tracked locally
             const real_t x = scoords.read(

@@ -37,13 +37,19 @@ struct LocalityProfile {
   std::uint64_t dram_lines = 0;     // references that missed all levels
 
   double accesses_per_op() const {
-    return operations ? static_cast<double>(accesses) / operations : 0;
+    return operations ? static_cast<double>(accesses) /
+                            static_cast<double>(operations)
+                      : 0;
   }
   double dram_lines_per_op() const {
-    return operations ? static_cast<double>(dram_lines) / operations : 0;
+    return operations ? static_cast<double>(dram_lines) /
+                            static_cast<double>(operations)
+                      : 0;
   }
   double l1_miss_rate() const {
-    return accesses ? static_cast<double>(l1_misses) / accesses : 0;
+    return accesses ? static_cast<double>(l1_misses) /
+                          static_cast<double>(accesses)
+                    : 0;
   }
 };
 

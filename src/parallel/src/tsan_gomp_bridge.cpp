@@ -8,10 +8,13 @@
 // invisible. Blanket suppressions (`race:libgomp`) would silence REAL races
 // too, since every report involving a pool thread carries a libgomp frame.
 //
-// Instead, this TU interposes the three GOMP entry points our code compiles
-// to — GOMP_parallel, GOMP_task, GOMP_barrier (schedule(static) loops lower
-// to plain GOMP_parallel; no GOMP_loop_* calls) — and re-creates exactly
-// those edges with __tsan_release/__tsan_acquire:
+// Instead, this TU interposes the GOMP entry points our code compiles to —
+// GOMP_parallel, GOMP_task, GOMP_barrier, and the dynamic-schedule loop
+// family GOMP_loop_nonmonotonic_dynamic_start/_next + GOMP_loop_end[_nowait]
+// (schedule(static) loops lower to plain GOMP_parallel with no GOMP_loop_*
+// calls; schedule(dynamic), used by the combination-grid recombine loop,
+// dispatches chunks through the nonmonotonic entry points) — and re-creates
+// exactly those edges with __tsan_release/__tsan_acquire:
 //
 //   fork:    release(fork_tag) inside our GOMP_parallel (after the caller
 //            stored the argument block) -> acquire(fork_tag) first thing in
@@ -26,6 +29,16 @@
 //            inside a barrier (past that thread's own release) and the
 //            OpenMP memory model orders task bodies before whoever leaves
 //            that barrier or the region.
+//   dynamic loop: libgomp hands out chunks by atomic RMW on a shared
+//            iteration counter; an instrumented runtime would publish a
+//            release/acquire chain through that counter. The bridge mirrors
+//            it on loop_tag: release before + acquire after every _start /
+//            _next call, ordering each chunk grab after all earlier ones.
+//            GOMP_loop_end carries the worksharing barrier (same edges as
+//            GOMP_barrier, on barrier_tag); GOMP_loop_end_nowait is pure
+//            bookkeeping and is forwarded without edges — the region's
+//            closing barrier (join_tag) provides the ordering, which is
+//            exactly the OpenMP nowait contract.
 //
 // Data conflicts NOT ordered by these constructs — two threads writing one
 // coefficient inside a region, a missing barrier between dependent groups —
@@ -56,7 +69,7 @@ void tsan_gomp_bridge_anchor() {}
 
 namespace {
 
-char fork_tag, join_tag, barrier_tag, task_tag;
+char fork_tag, join_tag, barrier_tag, task_tag, loop_tag;
 
 template <typename F>
 F resolve(const char* name) {
@@ -94,6 +107,7 @@ void run_task(TaskHeader* h) {
   __tsan_acquire(&task_tag);
   h->fn(reinterpret_cast<char*>(h) + h->payload_offset);
   const std::align_val_t align{static_cast<std::size_t>(h->align)};
+  // csg-lint: allow-next(raw-alloc) -- block ownership crosses threads; aligned operator delete has no smart-pointer form
   ::operator delete(h, align);
   // Tasks execute when a thread reaches a barrier — explicit GOMP_barrier
   // or the implicit one at region end, both of which happen AFTER that
@@ -153,6 +167,52 @@ void GOMP_barrier() {
   __tsan_acquire(&barrier_tag);
 }
 
+/// schedule(dynamic) chunk dispatch. The release-before/acquire-after pair
+/// on loop_tag recreates the release/acquire chain an instrumented runtime
+/// would exhibit on its shared iteration counter: every successful chunk
+/// grab is ordered after all earlier grabs (and after the loop-local setup
+/// done by whichever thread initialised the work share in _start). Writes
+/// inside two different chunks remain unordered unless a real OpenMP
+/// construct separates them — cross-iteration races stay visible.
+bool GOMP_loop_nonmonotonic_dynamic_start(long start, long end, long incr,
+                                          long chunk_size, long* istart,
+                                          long* iend) {
+  using Fn = bool (*)(long, long, long, long, long*, long*);
+  static const Fn real = resolve<Fn>("GOMP_loop_nonmonotonic_dynamic_start");
+  __tsan_release(&loop_tag);
+  const bool got = real(start, end, incr, chunk_size, istart, iend);
+  __tsan_acquire(&loop_tag);
+  return got;
+}
+
+bool GOMP_loop_nonmonotonic_dynamic_next(long* istart, long* iend) {
+  using Fn = bool (*)(long*, long*);
+  static const Fn real = resolve<Fn>("GOMP_loop_nonmonotonic_dynamic_next");
+  __tsan_release(&loop_tag);
+  const bool got = real(istart, iend);
+  __tsan_acquire(&loop_tag);
+  return got;
+}
+
+/// End of a worksharing loop WITH the implied barrier (no nowait clause):
+/// all-to-all edges exactly as in GOMP_barrier.
+void GOMP_loop_end() {
+  using Fn = void (*)();
+  static const Fn real = resolve<Fn>("GOMP_loop_end");
+  __tsan_release(&barrier_tag);
+  real();
+  __tsan_acquire(&barrier_tag);
+}
+
+/// nowait variant: bookkeeping only. No edges on purpose — OpenMP gives no
+/// ordering here either; the region's closing barrier (join_tag) is where
+/// the loop's writes become visible.
+void GOMP_loop_end_nowait() {
+  using Fn = void (*)();
+  static const Fn real = resolve<Fn>("GOMP_loop_end_nowait");
+  real();
+}
+
 void GOMP_task(void (*fn)(void*), void* data, void (*cpyfn)(void*, void*),
                long arg_size, long arg_align, bool if_clause, unsigned flags,
                void** depend, int priority, void* detach) {
@@ -173,6 +233,7 @@ void GOMP_task(void (*fn)(void*), void* data, void (*cpyfn)(void*, void*),
   const long offset =
       (static_cast<long>(sizeof(TaskHeader)) + align - 1) / align * align;
   const long total = offset + arg_size;
+  // csg-lint: allow-next(raw-alloc) -- task payload block is freed by whichever thread runs the task
   char* buf = static_cast<char*>(::operator new(
       static_cast<std::size_t>(total),
       std::align_val_t{static_cast<std::size_t>(align)}));

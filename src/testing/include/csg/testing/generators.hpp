@@ -8,6 +8,7 @@
 // CSG_PROPERTY_SEED environment variable.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -93,13 +94,35 @@ inline std::vector<CoordVector> random_points(std::mt19937_64& rng, dim_t d,
   return pts;
 }
 
+/// A uniformly random flat index of the grid — the raw form of
+/// random_grid_point for callers that feed gp2idx/idx2gp round trips or
+/// index directly into storage.
+inline flat_index_t random_flat_index(std::mt19937_64& rng,
+                                      const RegularSparseGrid& grid) {
+  return std::uniform_int_distribution<flat_index_t>(
+      0, grid.num_points() - 1)(rng);
+}
+
 /// A uniformly random point of the grid itself: flat index first, decoded
 /// through idx2gp. Used by the sampled bijection checks and by access
 /// microbenchmarks that want an unbiased point mix.
 inline GridPoint random_grid_point(std::mt19937_64& rng,
                                    const RegularSparseGrid& grid) {
-  std::uniform_int_distribution<flat_index_t> dist(0, grid.num_points() - 1);
-  return grid.idx2gp(dist(rng));
+  return grid.idx2gp(random_flat_index(rng, grid));
+}
+
+/// Every grid point exactly once, in shuffled order — the random-access
+/// tour the Table 1 microbenchmarks walk. Decoding first and shuffling
+/// second keeps the decode cost out of the timed region and guarantees
+/// uniform coverage (unlike sampling with replacement).
+inline std::vector<GridPoint> shuffled_grid_tour(std::mt19937_64& rng,
+                                                 const RegularSparseGrid& grid) {
+  std::vector<GridPoint> tour;
+  tour.reserve(static_cast<std::size_t>(grid.num_points()));
+  for (flat_index_t j = 0; j < grid.num_points(); ++j)
+    tour.push_back(grid.idx2gp(j));
+  std::shuffle(tour.begin(), tour.end(), rng);
+  return tour;
 }
 
 /// Random subset of `k` distinct dimensions out of `d`, sorted ascending —

@@ -1,0 +1,32 @@
+// Shared test-name generators for INSTANTIATE_TEST_SUITE_P sweeps.
+//
+// Centralised for two reasons: every (d, n) sweep across the suite gets the
+// same "d<d>n<n>" label, and the names are built by appending rather than by
+// chained std::string operator+ — GCC 12 misfires -Wrestrict on those chains
+// at -O2 (GCC PR105651), and the hardened lane (CSG_HARDEN=ON) promotes the
+// false positive to an error.
+#pragma once
+
+#include <string>
+
+namespace csg::testing {
+
+/// "d<d>n<n>" — canonical label of a (dimension, level) parameter case.
+template <typename D, typename N>
+std::string dn_name(D d, N n) {
+  std::string name = "d";
+  name += std::to_string(d);
+  name += 'n';
+  name += std::to_string(n);
+  return name;
+}
+
+/// "<prefix><value>" without an operator+ chain (see header comment).
+template <typename V>
+std::string prefixed_name(const char* prefix, V value) {
+  std::string name = prefix;
+  name += std::to_string(value);
+  return name;
+}
+
+}  // namespace csg::testing

@@ -1,0 +1,8 @@
+// csg-lint fixture: header-self-contained must flag this header — it uses
+// std::vector without including <vector>, so it only compiles when the
+// including TU happens to have pulled the dependency in first.
+#pragma once
+
+inline std::vector<double> zeros(unsigned n) {  // BAD: missing <vector>
+  return std::vector<double>(n, 0.0);
+}

@@ -1,0 +1,23 @@
+// csg-lint fixture: implicit-narrowing must flag the declarations below.
+// A level_t/dim_t initialised from a 64-bit index expression truncates
+// silently; the conversion must be spelled static_cast to survive review.
+#include <cstdint>
+#include <vector>
+
+using level_t = std::uint32_t;
+using dim_t = std::uint32_t;
+using flat_index_t = std::uint64_t;
+
+struct Grid {
+  flat_index_t num_points() const { return 1; }
+  std::uint64_t l1_norm() const { return 1; }
+};
+
+void f(const Grid& g) {
+  level_t lsum = g.l1_norm();       // BAD: uint64 -> level_t, no cast
+  dim_t d = g.num_points();         // BAD: flat_index_t -> dim_t, no cast
+  level_t ok = static_cast<level_t>(g.l1_norm());  // GOOD: explicit
+  (void)lsum;
+  (void)d;
+  (void)ok;
+}

@@ -1,0 +1,20 @@
+// csg-lint fixture: omp-loop-counter must flag the loop below.
+// An int trip count against a 64-bit grid bound narrows (and signed
+// overflow in the induction variable is UB the optimiser exploits).
+#include <cstdint>
+
+double sum_coefficients(const double* c, std::uint64_t n) {
+  double acc = 0;
+#pragma omp parallel for reduction(+ : acc)
+  for (int k = 0; k < static_cast<int>(n); ++k)  // BAD: int counter
+    acc += c[k];
+  return acc;
+}
+
+double fine(const double* c, std::int64_t n) {
+  double acc = 0;
+#pragma omp parallel for reduction(+ : acc)
+  for (std::int64_t k = 0; k < n; ++k)  // GOOD: 64-bit counter
+    acc += c[k];
+  return acc;
+}

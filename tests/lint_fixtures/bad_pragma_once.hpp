@@ -1,0 +1,4 @@
+// csg-lint fixture: pragma-once must flag this header — double inclusion
+// of the definition below is an ODR violation the linker may not report.
+
+inline int answer() { return 42; }

@@ -1,0 +1,15 @@
+// csg-lint fixture: raw-alloc must flag every allocation below.
+// Outside src/memsim (which owns allocation instrumentation), ownership
+// flows through containers; raw new/malloc escapes the traced paths.
+#include <cstdlib>
+
+void bad() {
+  int* a = new int[4];     // BAD: raw array new
+  delete[] a;              // BAD: raw delete
+  void* b = std::malloc(16);  // BAD: C allocation
+  std::free(b);               // BAD: C deallocation
+}
+
+struct NotFlagged {
+  NotFlagged(const NotFlagged&) = delete;  // GOOD: deleted function
+};

@@ -1,0 +1,17 @@
+// csg-lint fixture: shift-width must flag every pattern below.
+// The int-typed literal promotes the whole expression to 32 bits, so at
+// deep levels (l >= 31) the flat index silently truncates.
+#include <cstdint>
+
+std::uint64_t points_per_subspace(unsigned level) {
+  return 1 << level;  // BAD: 32-bit literal shifted by a runtime count
+}
+
+std::uint64_t mask_of(unsigned level) {
+  return (1u << level) - 1;  // BAD: unsigned is still 32 bits wide
+}
+
+std::uint64_t fine(unsigned level) {
+  // GOOD (not flagged): explicit width via brace form and suffix.
+  return (std::uint64_t{1} << level) + (1ull << level) + (1 << 4);
+}

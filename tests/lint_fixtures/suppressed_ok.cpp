@@ -1,0 +1,9 @@
+// csg-lint fixture: the inline suppression syntax must actually silence a
+// finding — otherwise every allow() in the tree is dead weight and the
+// clean scan lies. Both spellings are exercised.
+
+void intentional() {
+  int* a = new int[2];  // csg-lint: allow(raw-alloc) -- fixture exercising suppression
+  // csg-lint: allow-next(raw-alloc) -- fixture exercising suppression
+  delete[] a;
+}

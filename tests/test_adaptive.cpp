@@ -226,8 +226,8 @@ TEST(AdaptiveGrid, MemoryReflectsFlexibilityCost) {
   // Per point, the hash-backed adaptive grid pays far more than the
   // compact structure's 8 bytes — the Sec. 7 trade-off.
   AdaptiveSparseGrid g(3, 5);
-  const double per_point =
-      static_cast<double>(g.memory_bytes()) / g.num_points();
+  const double per_point = static_cast<double>(g.memory_bytes()) /
+                           static_cast<double>(g.num_points());
   EXPECT_GT(per_point, 3 * sizeof(real_t));
 }
 

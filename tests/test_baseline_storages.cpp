@@ -90,7 +90,8 @@ TEST(BaselineStorages, StdMapKeyBytesGrowWithDimension) {
   auto bytes_for = [](dim_t d) {
     StdMapStorage s(d, 3);
     sample(s, [](const CoordVector&) { return 1.0; });
-    return static_cast<double>(s.memory_bytes()) / s.size();
+    return static_cast<double>(s.memory_bytes()) /
+           static_cast<double>(s.size());
   };
   EXPECT_GT(bytes_for(10), bytes_for(2));
 }

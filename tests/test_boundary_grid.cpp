@@ -9,6 +9,7 @@
 #include "csg/core/hierarchize.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
+#include "csg/testing/param_names.hpp"
 
 namespace csg {
 namespace {
@@ -104,9 +105,8 @@ TEST_P(BoundarySweep, EvaluationInterpolatesAtEveryPoint) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, BoundarySweep,
     ::testing::Values(Case{1, 4}, Case{2, 4}, Case{3, 3}, Case{4, 3}),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      return "d" + std::to_string(info.param.d) + "n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<Case>& tpi) {
+      return csg::testing::dn_name(tpi.param.d, tpi.param.n);
     });
 
 TEST(BoundaryGrid, CornersHoldFunctionValues) {

@@ -8,6 +8,7 @@
 #include "csg/core/hierarchize.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
+#include "csg/testing/param_names.hpp"
 
 namespace csg::combination {
 namespace {
@@ -125,9 +126,8 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, CombinationSweep,
     ::testing::Values(Case{1, 5}, Case{2, 2}, Case{2, 5}, Case{3, 2},
                       Case{3, 4}, Case{4, 4}, Case{5, 5}),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      return "d" + std::to_string(info.param.d) + "n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<Case>& tpi) {
+      return csg::testing::dn_name(tpi.param.d, tpi.param.n);
     });
 
 TEST(CombinationGrid, ReplicationOverheadVsCompact) {

@@ -7,6 +7,7 @@
 #include "csg/parallel/omp_algorithms.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
+#include "csg/testing/param_names.hpp"
 
 namespace csg {
 namespace {
@@ -114,9 +115,8 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, PlanParity,
     ::testing::Values(DimLevel{1, 6}, DimLevel{2, 6}, DimLevel{5, 5},
                       DimLevel{10, 3}),
-    [](const ::testing::TestParamInfo<DimLevel>& info) {
-      return "d" + std::to_string(info.param.d) + "n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<DimLevel>& tpi) {
+      return csg::testing::dn_name(tpi.param.d, tpi.param.n);
     });
 
 TEST(EvaluationPlanDeath, DimensionMismatchAborts) {

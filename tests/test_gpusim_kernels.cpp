@@ -7,6 +7,7 @@
 #include "csg/gpusim/device.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
+#include "csg/testing/param_names.hpp"
 
 namespace csg::gpusim {
 namespace {
@@ -78,9 +79,8 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, KernelSweep,
     ::testing::Values(Case{1, 5}, Case{2, 5}, Case{3, 4}, Case{5, 4},
                       Case{7, 3}),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      return "d" + std::to_string(info.param.d) + "n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<Case>& tpi) {
+      return csg::testing::dn_name(tpi.param.d, tpi.param.n);
     });
 
 TEST_P(KernelSweep, DehierarchizationIsBitIdenticalToCpu) {

@@ -7,6 +7,7 @@
 #include "csg/core/evaluate.hpp"
 #include "csg/core/grid_point.hpp"
 #include "csg/workloads/functions.hpp"
+#include "csg/testing/param_names.hpp"
 
 namespace csg {
 namespace {
@@ -140,9 +141,8 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, HierarchizeSweep,
     ::testing::Values(Case{1, 6}, Case{2, 5}, Case{3, 4}, Case{4, 4},
                       Case{5, 3}, Case{6, 3}),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      return "d" + std::to_string(info.param.d) + "n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<Case>& tpi) {
+      return csg::testing::dn_name(tpi.param.d, tpi.param.n);
     });
 
 TEST(Hierarchize, ParentFlatIndexMatchesManualLookup) {

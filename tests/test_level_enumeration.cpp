@@ -1,4 +1,5 @@
 #include "csg/core/level_enumeration.hpp"
+#include "csg/testing/param_names.hpp"
 
 #include <gtest/gtest.h>
 
@@ -136,9 +137,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DimLevel{2, 5}, DimLevel{3, 4}, DimLevel{4, 6},
                       DimLevel{5, 5}, DimLevel{6, 4}, DimLevel{8, 3},
                       DimLevel{10, 3}, DimLevel{16, 2}),
-    [](const ::testing::TestParamInfo<DimLevel>& info) {
-      return "d" + std::to_string(info.param.d) + "n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<DimLevel>& tpi) {
+      return csg::testing::dn_name(tpi.param.d, tpi.param.n);
     });
 
 TEST(LevelEnumeration, SubspaceIndexOfFirstIsZero) {

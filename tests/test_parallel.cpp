@@ -10,6 +10,7 @@
 #include "csg/baselines/prefix_tree_storage.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
+#include "csg/testing/param_names.hpp"
 
 namespace csg::parallel {
 namespace {
@@ -191,8 +192,8 @@ TEST_P(ThreadSweep, OmpBlockedEvaluateBitIdenticalToSpanWalk) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
                          ::testing::ValuesIn(thread_counts()),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "t" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& tpi) {
+                           return csg::testing::prefixed_name("t", tpi.param);
                          });
 
 TEST(Parallel, RepeatedRunsAreDeterministic) {

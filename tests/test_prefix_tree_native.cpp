@@ -9,6 +9,7 @@
 #include "csg/core/hierarchize.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
+#include "csg/testing/param_names.hpp"
 
 namespace csg::baselines {
 namespace {
@@ -79,9 +80,8 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, NativeTrieSweep,
     ::testing::Values(Case{1, 6}, Case{2, 5}, Case{3, 4}, Case{4, 4},
                       Case{5, 3}),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      return "d" + std::to_string(info.param.d) + "n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<Case>& tpi) {
+      return csg::testing::dn_name(tpi.param.d, tpi.param.n);
     });
 
 TEST(NativeTrie, LevelOfSlotDecodesHeapOrder) {

@@ -1,4 +1,5 @@
 #include "csg/core/regular_grid.hpp"
+#include "csg/testing/param_names.hpp"
 
 #include <gtest/gtest.h>
 
@@ -97,9 +98,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(DimLevel{1, 1}, DimLevel{1, 8}, DimLevel{2, 6},
                       DimLevel{3, 5}, DimLevel{4, 4}, DimLevel{5, 4},
                       DimLevel{6, 3}, DimLevel{10, 2}),
-    [](const ::testing::TestParamInfo<DimLevel>& info) {
-      return "d" + std::to_string(info.param.d) + "n" +
-             std::to_string(info.param.n);
+    [](const ::testing::TestParamInfo<DimLevel>& tpi) {
+      return csg::testing::dn_name(tpi.param.d, tpi.param.n);
     });
 
 TEST(RegularGrid, RandomizedBijectionAtPaperScale) {

@@ -6,6 +6,7 @@
 #include "csg/core/hierarchize.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
+#include "csg/testing/param_names.hpp"
 
 namespace csg {
 namespace {
@@ -60,10 +61,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Case{2, 5, {0}}, Case{3, 5, {1}}, Case{3, 5, {0, 2}},
                       Case{4, 4, {1, 2}}, Case{5, 4, {0, 4}},
                       Case{5, 4, {0, 1, 2, 3}}, Case{6, 3, {2, 3, 5}}),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      std::string name = "d" + std::to_string(info.param.d) + "n" +
-                         std::to_string(info.param.n) + "k";
-      for (dim_t t : info.param.kept) name += std::to_string(t);
+    [](const ::testing::TestParamInfo<Case>& tpi) {
+      std::string name = csg::testing::dn_name(tpi.param.d, tpi.param.n);
+      name += 'k';
+      for (dim_t kd : tpi.param.kept) name += std::to_string(kd);
       return name;
     });
 

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Run clang-tidy over the project's compilation database, honouring the
+# .clang-tidy hierarchy (root profile + per-directory overrides).
+#
+#   tools/csg_lint/run_clang_tidy.sh [build-dir]
+#
+# build-dir must have been configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON
+# (the root CMakeLists.txt sets it). Exits 0 with a notice when clang-tidy
+# is not installed — the dev container ships GCC only; the tidy lane runs
+# in CI where the tool is provisioned. Exits 2 on a usage/setup error,
+# clang-tidy's own status otherwise.
+set -eu
+
+build_dir="${1:-build}"
+root="$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping (csg-lint still covers the project-specific rules)"
+  exit 0
+fi
+
+db="$root/$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+  echo "run_clang_tidy: $db not found." >&2
+  echo "  configure first: cmake -B $build_dir -S $root" >&2
+  exit 2
+fi
+
+# First-party TUs only: the database also lists third-party/test-framework
+# sources that the profile was never tuned for.
+files=$(python3 -c '
+import json, sys
+root, db = sys.argv[1], sys.argv[2]
+seen = []
+for entry in json.load(open(db)):
+    f = entry["file"]
+    rel = f[len(root) + 1:] if f.startswith(root + "/") else f
+    if rel.startswith(("src/", "tools/", "bench/", "examples/")) and rel not in seen:
+        seen.append(rel)
+print("\n".join(seen))
+' "$root" "$db")
+
+if [ -z "$files" ]; then
+  echo "run_clang_tidy: no first-party TUs in $db" >&2
+  exit 2
+fi
+
+echo "$files" | wc -l | xargs printf 'run_clang_tidy: checking %s translation units\n'
+status=0
+for f in $files; do
+  clang-tidy -p "$root/$build_dir" --quiet "$root/$f" || status=$?
+done
+exit $status
