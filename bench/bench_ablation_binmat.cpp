@@ -16,6 +16,8 @@ namespace {
 using namespace csg;
 using namespace csg::gpusim;
 using csg::bench::Args;
+using csg::bench::Better;
+using csg::bench::Report;
 
 double run_mode(Launcher& launcher, dim_t d, level_t n, BinmatMode mode) {
   CompactStorage storage(d, n);
@@ -38,6 +40,13 @@ int main(int argc, char** argv) {
       "Sec. 5.3 (on-the-fly ~4x slower; constant cache slightly beats "
       "shared memory)");
 
+  Report report("bench_ablation_binmat",
+                "binomial coefficient placement ablation on the simulated "
+                "GPU",
+                "Sec. 5.3");
+  report.set_param("level", static_cast<std::int64_t>(level));
+  report.set_param("dims_max", static_cast<std::int64_t>(d_hi));
+
   Launcher launcher(tesla_c1060());
   std::printf("%-6s %16s %16s %16s %12s\n", "d", "constant (ms)",
               "shared (ms)", "on-the-fly (ms)", "fly/const");
@@ -48,9 +57,19 @@ int main(int argc, char** argv) {
     const double f = run_mode(launcher, d, level, BinmatMode::kOnTheFly);
     worst_ratio = std::max(worst_ratio, f / c);
     std::printf("%-6u %16.3f %16.3f %16.3f %12.2f\n", d, c, s, f, f / c);
+    // Simulator timings are modeled, not measured — deterministic counters.
+    const std::string dk = "/d" + std::to_string(d);
+    report.add_counter("gpu_hierarchize_ms/constant" + dk, c, "ms",
+                       Better::kLess);
+    report.add_counter("gpu_hierarchize_ms/shared" + dk, s, "ms",
+                       Better::kLess);
+    report.add_counter("gpu_hierarchize_ms/on_the_fly" + dk, f, "ms",
+                       Better::kLess);
   }
   std::printf("\nmax on-the-fly slowdown observed: %.2fx (paper: ~4x at its "
               "scale)\n", worst_ratio);
+  report.add_counter("gpu_hierarchize/max_on_the_fly_slowdown", worst_ratio,
+                     "x", Better::kNeutral);
 
   // Host-side analogue: gp2idx throughput with table vs multiplicative
   // binomial (the structural reason behind the GPU numbers).
@@ -60,11 +79,13 @@ int main(int argc, char** argv) {
   for (flat_index_t j = 0; j < grid.num_points(); j += 7)
     pts.push_back(grid.idx2gp(j));
   volatile flat_index_t sink = 0;
-  const double table_s = csg::bench::time_per_call_s([&] {
-    flat_index_t acc = 0;
-    for (const GridPoint& gp : pts) acc += grid.gp2idx(gp);
-    sink = acc;
-  });
+  const double table_s = csg::bench::time_per_call_s(
+      [&] {
+        flat_index_t acc = 0;
+        for (const GridPoint& gp : pts) acc += grid.gp2idx(gp);
+        sink = acc;
+      },
+      0.2);
   const double fly_s = csg::bench::time_per_call_s([&] {
     flat_index_t acc = 0;
     for (const GridPoint& gp : pts) {
@@ -88,12 +109,25 @@ int main(int argc, char** argv) {
       acc += index1 + index2 + index3;
     }
     sink = acc;
-  });
+  }, 0.2);
   (void)sink;
   std::printf("\nhost gp2idx (d=%u): table %.1f ns/call, on-the-fly %.1f "
               "ns/call (%.1fx slower)\n",
               d, table_s / static_cast<double>(pts.size()) * 1e9,
               fly_s / static_cast<double>(pts.size()) * 1e9,
               fly_s / table_s);
+  const double per_gp = 1e9 / static_cast<double>(pts.size());
+  report
+      .add_time("host_gp2idx/ns_per_call/table", csg::bench::summarize({table_s}),
+                "ns", per_gp)
+      .tolerance = 1.0;
+  report
+      .add_time("host_gp2idx/ns_per_call/on_the_fly",
+                csg::bench::summarize({fly_s}), "ns", per_gp)
+      .tolerance = 1.0;
+  report
+      .add_counter("host_gp2idx/on_the_fly_slowdown", fly_s / table_s, "x",
+                   Better::kNeutral);
+  csg::bench::finish_report(report, args);
   return 0;
 }

@@ -24,6 +24,8 @@ namespace {
 
 using namespace csg;
 using csg::bench::Args;
+using csg::bench::Better;
+using csg::bench::Report;
 
 }  // namespace
 
@@ -47,33 +49,52 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(storage.size()),
               static_cast<double>(storage.size()) * 8 / 1e6, points);
 
+  Report report("bench_ablation_blocking",
+                "evaluation with and without blocking on the evaluation "
+                "points",
+                "Sec. 4.3");
+  report.set_param("dims", static_cast<std::int64_t>(d));
+  report.set_param("level", static_cast<std::int64_t>(level));
+  report.set_param("points", static_cast<std::int64_t>(points));
+
   const auto pts = workloads::uniform_points(d, points, 21);
   const std::span<const real_t> coeffs(storage.data(),
                                        storage.values().size());
   // Pre-plan walk (first_level/advance_level per subspace per point) as the
   // historical baseline, then the plan-based unblocked and blocked paths.
-  const double walk_s = csg::bench::time_s([&] {
+  const double walk_s = csg::bench::time_per_call_s([&] {
     for (const CoordVector& x : pts)
       (void)evaluate_span_walk(storage.grid(), coeffs, x);
   });
   std::printf("%-18s %10.4f s   (%.2fx)\n", "iterator walk", walk_s, 1.0);
-  const double plain_s =
-      csg::bench::time_s([&] { (void)evaluate_many(storage, pts); });
+  report.add_time("eval_s/iterator_walk", csg::bench::summarize({walk_s}))
+      .tolerance = 1.0;
+  const double plain_s = csg::bench::time_per_call_s(
+      [&] { (void)evaluate_many(storage, pts); });
   std::printf("%-18s %10.4f s   (%.2fx)\n", "plan unblocked", plain_s,
               walk_s / plain_s);
+  report.add_time("eval_s/plan_unblocked", csg::bench::summarize({plain_s}))
+      .tolerance = 1.0;
   for (std::size_t block : {16u, 64u, 256u, 1024u}) {
-    const double s = csg::bench::time_s(
+    const double s = csg::bench::time_per_call_s(
         [&] { (void)evaluate_many_blocked(storage, pts, block); });
     std::printf("block size %-7zu %10.4f s   (%.2fx)\n", block, s,
                 walk_s / s);
+    report
+        .add_time("eval_s/blocked_b" + std::to_string(block),
+                  csg::bench::summarize({s}))
+        .tolerance = 1.0;
   }
   const int host_threads =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  const double omp_s = csg::bench::time_s([&] {
+  const double omp_s = csg::bench::time_per_call_s([&] {
     (void)parallel::omp_evaluate_many_blocked(storage, pts, 64, host_threads);
   });
   std::printf("omp blocked (B=64, %2d thr) %10.4f s   (%.2fx)\n",
               host_threads, omp_s, walk_s / omp_s);
+  // Depends on the host's core count — never gated.
+  report.add_time("eval_s/omp_blocked_b64", csg::bench::summarize({omp_s}), "s",
+                  1, Better::kNeutral);
 
   std::printf("\n(note: wall-clock gains depend on the coefficient array "
               "exceeding this host's last-level cache; on machines with "
@@ -104,12 +125,24 @@ int main(int argc, char** argv) {
   std::printf("\ncache-simulated DRAM lines per evaluation (512 KB L2, "
               "coefficients %.1f MB):\n",
               static_cast<double>(storage.size()) * 8 / 1e6);
-  std::printf("  per-point order:   %10.1f\n", dram_per_eval(false, 0));
-  for (std::size_t block : {16u, 64u, 256u, 512u})
-    std::printf("  blocked (B=%4zu):  %10.1f\n", block,
-                dram_per_eval(true, block));
+  const double per_point_dram = dram_per_eval(false, 0);
+  std::printf("  per-point order:   %10.1f\n", per_point_dram);
+  // 5% band: the simulator maps real heap addresses, ASLR wobbles misses.
+  report
+      .add_counter("dram_lines_per_eval/per_point", per_point_dram, "lines",
+                   Better::kLess)
+      .tolerance = 0.05;
+  for (std::size_t block : {16u, 64u, 256u, 512u}) {
+    const double lines = dram_per_eval(true, block);
+    std::printf("  blocked (B=%4zu):  %10.1f\n", block, lines);
+    report
+        .add_counter("dram_lines_per_eval/blocked_b" + std::to_string(block),
+                     lines, "lines", Better::kLess)
+        .tolerance = 0.05;
+  }
   std::printf("\nreading: the subspace-major blocked order divides the "
               "coefficient traffic by ~B, which is why evaluation stays "
               "compute-bound in Fig. 11b.\n");
+  csg::bench::finish_report(report, args);
   return 0;
 }

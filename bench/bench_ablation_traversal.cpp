@@ -18,6 +18,8 @@ namespace {
 
 using namespace csg;
 using csg::bench::Args;
+using csg::bench::Better;
+using csg::bench::Report;
 
 }  // namespace
 
@@ -31,14 +33,29 @@ int main(int argc, char** argv) {
       "Alg. 6 implementation space (all bit-identical; see "
       "tests/test_hierarchize.cpp)");
 
+  Report report("bench_ablation_traversal",
+                "literal vs subspace-wise vs pole-based hierarchization "
+                "traversals",
+                "Alg. 6");
+  report.set_param("level", static_cast<std::int64_t>(level));
+
   std::printf("%-4s %12s %14s %14s %14s %10s\n", "d", "N points",
               "literal (ms)", "subspace (ms)", "poles (ms)", "poles win");
   for (dim_t d = 2; d <= 10; d += 2) {
     const auto f = workloads::parabola_product(d);
+    // The transform mutates in place, so each repetition rebuilds; only the
+    // transform itself is accumulated, until a 50 ms window is filled (at
+    // small d a single pass is microseconds — far too noisy to gate).
     auto run = [&](void (*transform)(CompactStorage&)) {
-      CompactStorage s(d, level);
-      s.sample(f.f);
-      return csg::bench::time_s([&] { transform(s); });
+      double accum = 0;
+      int calls = 0;
+      do {
+        CompactStorage s(d, level);
+        s.sample(f.f);
+        accum += csg::bench::time_s([&] { transform(s); });
+        ++calls;
+      } while (accum < 0.05);
+      return accum / calls;
     };
     const double t_lit = run(&hierarchize_literal);
     const double t_sub = run(&hierarchize);
@@ -47,10 +64,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     regular_grid_num_points(d, level)),
                 t_lit * 1e3, t_sub * 1e3, t_pole * 1e3, t_sub / t_pole);
+    const std::string dk = "/d" + std::to_string(d);
+    report
+        .add_time("hierarchize_ms/literal" + dk, csg::bench::summarize({t_lit}),
+                  "ms", 1e3)
+        .tolerance = 1.0;
+    report
+        .add_time("hierarchize_ms/subspace" + dk,
+                  csg::bench::summarize({t_sub}), "ms", 1e3)
+        .tolerance = 1.0;
+    report
+        .add_time("hierarchize_ms/poles" + dk, csg::bench::summarize({t_pole}),
+                  "ms", 1e3)
+        .tolerance = 1.0;
+    report.add_counter("poles_speedup_vs_subspace" + dk, t_sub / t_pole, "x",
+                       Better::kNeutral);
   }
   std::printf("\nreading: the pole transform removes every bijection call "
               "from the inner loop; the gp2idx arithmetic is what separates "
               "the three — exactly the cost the paper's Sec. 4.2 O(d) "
               "optimization minimizes.\n");
+  csg::bench::finish_report(report, args);
   return 0;
 }

@@ -1,7 +1,8 @@
 // Shared plumbing for the experiment harness: flag parsing, wall-clock
 // timing, and aligned table printing. Every bench binary regenerates one
-// table or figure of the paper (see DESIGN.md §4) and prints the same
-// rows/series the paper reports.
+// table or figure of the paper (see DESIGN.md §4), prints the same
+// rows/series the paper reports, and writes a machine-readable
+// BENCH_<name>.json record through csg::bench::Report (docs/BENCHMARKS.md).
 #pragma once
 
 #include <chrono>
@@ -11,6 +12,8 @@
 #include <functional>
 #include <string>
 #include <vector>
+
+#include "csg/bench/harness.hpp"
 
 namespace csg::bench {
 
@@ -31,9 +34,24 @@ class Args {
     return fallback;
   }
 
+  std::string get_str(const std::string& flag,
+                      const std::string& fallback) const {
+    for (std::size_t k = 0; k + 1 < args_.size(); ++k)
+      if (args_[k] == flag) return args_[k + 1];
+    return fallback;
+  }
+
  private:
   std::vector<std::string> args_;
 };
+
+/// Write the JSON record (to --json-out, $CSG_BENCH_JSON_DIR, or the
+/// working directory) and print where it went. The last line every bench
+/// main() runs.
+inline void finish_report(const Report& report, const Args& args) {
+  const std::string path = report.write_file(args.get_str("--json-out", ""));
+  if (!path.empty()) std::printf("\n[csg::bench] wrote %s\n", path.c_str());
+}
 
 /// Wall-clock seconds of body(), best effort single run (experiments here
 /// run long enough that one observation is stable).

@@ -24,6 +24,8 @@ namespace {
 
 using namespace csg;
 using csg::bench::Args;
+using csg::bench::Better;
+using csg::bench::Report;
 
 }  // namespace
 
@@ -38,6 +40,12 @@ int main(int argc, char** argv) {
       "Sec. 7 related work ([16] Griebel's combination technique; "
       "replication cost called out in the paper)");
 
+  Report report("bench_ext_combination",
+                "combination technique vs direct compact sparse grid",
+                "Sec. 7");
+  report.set_param("level", static_cast<std::int64_t>(level));
+  report.set_param("points", static_cast<std::int64_t>(points));
+
   std::printf("%-4s %10s %12s %12s %10s %14s %14s %12s\n", "d", "N sparse",
               "N combi", "replication", "# grids", "eval us (csg)",
               "eval us (cmb)", "max |diff|");
@@ -50,11 +58,11 @@ int main(int argc, char** argv) {
     hierarchize(direct);
 
     const auto pts = workloads::uniform_points(d, points, 11);
-    const double t_direct = csg::bench::time_s([&] {
+    const double t_direct = csg::bench::time_per_call_s([&] {
       for (const CoordVector& x : pts) (void)evaluate(direct, x);
     });
     std::vector<real_t> combi_vals;
-    const double t_combi = csg::bench::time_s(
+    const double t_combi = csg::bench::time_per_call_s(
         [&] { combi_vals = combi.evaluate_many(pts, 1); });
 
     real_t max_diff = 0;
@@ -70,6 +78,28 @@ int main(int argc, char** argv) {
                 combi.components().size(),
                 t_direct / static_cast<double>(points) * 1e6,
                 t_combi / static_cast<double>(points) * 1e6, max_diff);
+    const std::string dk = "/d" + std::to_string(d);
+    report.add_counter("replication_factor" + dk,
+                       static_cast<double>(combi.total_points()) /
+                           static_cast<double>(direct.size()),
+                       "x", Better::kLess);
+    report.add_counter("component_grids" + dk,
+                       static_cast<double>(combi.components().size()), "grids",
+                       Better::kNeutral);
+    const double per_pt = 1e6 / static_cast<double>(points);
+    report
+        .add_time("eval_us/direct" + dk, csg::bench::summarize({t_direct}),
+                  "us", per_pt)
+        .tolerance = 1.0;
+    report
+        .add_time("eval_us/combination" + dk, csg::bench::summarize({t_combi}),
+                  "us", per_pt)
+        .tolerance = 1.0;
+    // Round-off-level agreement; the magnitude wobbles across platforms,
+    // so give the tight identity a wide relative band.
+    report.add_counter("max_abs_diff" + dk, static_cast<double>(max_diff),
+                       "abs", Better::kLess)
+        .tolerance = 1.0;
   }
   std::printf(
       "\nreading: identical interpolants (the combination identity holds to "
@@ -77,5 +107,6 @@ int main(int argc, char** argv) {
       "Alg. 7), at the price of replicated storage growing with d. The "
       "compact direct representation stores each coefficient exactly "
       "once.\n");
+  csg::bench::finish_report(report, args);
   return 0;
 }

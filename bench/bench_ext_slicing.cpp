@@ -20,6 +20,8 @@ namespace {
 
 using namespace csg;
 using csg::bench::Args;
+using csg::bench::Better;
+using csg::bench::Report;
 
 }  // namespace
 
@@ -36,6 +38,14 @@ int main(int argc, char** argv) {
       "(library extension)");
   std::printf("%zux%zu pixels per frame, level %u grids\n\n", width, height,
               level);
+
+  Report report("bench_ext_slicing",
+                "per-frame slice decompression: direct vs blocked vs "
+                "restriction",
+                "Fig. 1");
+  report.set_param("level", static_cast<std::int64_t>(level));
+  report.set_param("width", static_cast<std::int64_t>(width));
+  report.set_param("height", static_cast<std::int64_t>(height));
 
   std::printf("%-4s %12s %14s %14s %14s %12s %12s\n", "d", "N points",
               "direct (ms)", "blocked (ms)", "restrict (ms)", "speedup",
@@ -63,11 +73,11 @@ int main(int argc, char** argv) {
       embedded.push_back(embed_in_plane(d, kept, anchor, x));
 
     std::vector<real_t> direct_vals, blocked_vals, restricted_vals;
-    const double t_direct = csg::bench::time_s(
+    const double t_direct = csg::bench::time_per_call_s(
         [&] { direct_vals = evaluate_many(s, embedded); });
-    const double t_blocked = csg::bench::time_s(
+    const double t_blocked = csg::bench::time_per_call_s(
         [&] { blocked_vals = evaluate_many_blocked(s, embedded, 64); });
-    const double t_restrict = csg::bench::time_s([&] {
+    const double t_restrict = csg::bench::time_per_call_s([&] {
       const CompactStorage slice = restrict_to_plane(s, kept, anchor);
       restricted_vals = evaluate_many_blocked(slice, pixels, 64);
     });
@@ -81,10 +91,29 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.size()), t_direct * 1e3,
                 t_blocked * 1e3, t_restrict * 1e3, t_direct / t_restrict,
                 max_diff);
+    const std::string dk = "/d" + std::to_string(d);
+    report
+        .add_time("frame_ms/direct" + dk, csg::bench::summarize({t_direct}),
+                  "ms", 1e3)
+        .tolerance = 1.0;
+    report
+        .add_time("frame_ms/blocked" + dk, csg::bench::summarize({t_blocked}),
+                  "ms", 1e3)
+        .tolerance = 1.0;
+    report
+        .add_time("frame_ms/restriction" + dk,
+                  csg::bench::summarize({t_restrict}), "ms", 1e3)
+        .tolerance = 1.0;
+    report.add_counter("restriction_speedup" + dk, t_direct / t_restrict, "x",
+                       Better::kNeutral);
+    report.add_counter("max_abs_diff" + dk, static_cast<double>(max_diff),
+                       "abs", Better::kLess)
+        .tolerance = 1.0;
   }
   std::printf(
       "\nreading: restriction amortizes the d-dimensional work once per "
       "frame anchor; per-pixel cost drops to the 2d interpolant. Identical "
       "pixels (max |diff| at round-off) — the operator is exact.\n");
+  csg::bench::finish_report(report, args);
   return 0;
 }

@@ -9,6 +9,7 @@
 // projects the paper-scale level-11 figure. The compact structure is also
 // measured directly at paper scale when --paper-scale is passed (it is the
 // only one that fits comfortably).
+#include <algorithm>
 #include <cinttypes>
 
 #include "bench_common.hpp"
@@ -22,6 +23,8 @@ namespace {
 using namespace csg;
 using namespace csg::baselines;
 using csg::bench::Args;
+using csg::bench::Better;
+using csg::bench::Report;
 
 struct Row {
   const char* name;
@@ -41,7 +44,9 @@ double measure_bytes_per_point(dim_t d, level_t n) {
 int main(int argc, char** argv) {
   const Args args(argc, argv);
   const auto level = static_cast<level_t>(args.get_int("--level", 7));
-  const dim_t d_lo = 5, d_hi = 10;
+  const auto d_lo = static_cast<dim_t>(args.get_int("--dmin", 5));
+  const auto d_hi = static_cast<dim_t>(
+      std::min<long>(args.get_int("--dmax", 10), 10));
 
   csg::bench::print_header(
       "bench_fig8_memory: sparse grid memory consumption per data structure",
@@ -50,6 +55,13 @@ int main(int argc, char** argv) {
   std::printf("measured at level %u; paper scale projected from measured "
               "bytes/point * N(d, 11)\n\n",
               level);
+
+  Report report("bench_fig8_memory",
+                "sparse grid memory consumption per data structure", "Fig. 8");
+  report.set_param("level", static_cast<std::int64_t>(level));
+  report.set_param("dims_min", static_cast<std::int64_t>(d_lo));
+  report.set_param("dims_max", static_cast<std::int64_t>(d_hi));
+  report.set_param("paper_scale", args.has("--paper-scale"));
 
   Row rows[5] = {{"compact", {}},
                  {"prefix_tree", {}},
@@ -67,6 +79,19 @@ int main(int argc, char** argv) {
         measure_bytes_per_point<EnhancedMapStorage>(d, level);
     rows[4].bytes_per_point[d] = measure_bytes_per_point<StdMapStorage>(d, level);
   }
+
+  // Bytes/point comes from the metered allocators — fully deterministic, so
+  // these counters gate tightly in bench_compare.
+  for (const Row& r : rows)
+    for (dim_t d = d_lo; d <= d_hi; ++d)
+      report.add_counter(std::string(r.name) + "/bytes_per_point/d" +
+                             std::to_string(d),
+                         r.bytes_per_point[d], "bytes", Better::kLess);
+  for (const Row& r : rows)
+    report.add_counter(std::string(r.name) + "/ratio_vs_compact/d" +
+                           std::to_string(d_hi),
+                       r.bytes_per_point[d_hi] / rows[0].bytes_per_point[d_hi],
+                       "x", Better::kLess);
 
   std::printf("measured bytes per grid point (level %u):\n", level);
   std::printf("%-15s", "structure");
@@ -94,18 +119,23 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  std::printf("\nmemory ratio vs compact at d=10 (paper reports up to ~30x):\n");
+  std::printf("\nmemory ratio vs compact at d=%u (paper reports up to ~30x):\n",
+              d_hi);
   for (const Row& r : rows)
     std::printf("  %-15s %6.1fx\n", r.name,
-                r.bytes_per_point[10] / rows[0].bytes_per_point[10]);
+                r.bytes_per_point[d_hi] / rows[0].bytes_per_point[d_hi]);
 
   if (args.has("--paper-scale")) {
     std::printf("\ndirect measurement of the compact structure at paper "
                 "scale (d=10, level 11, %" PRIu64 " points):\n",
                 regular_grid_num_points(10, 11));
     CompactStorage big(10, 11);
+    const double gb = static_cast<double>(big.memory_bytes()) / 1e9;
     std::printf("  compact: %.3f GB (vs ~13 GB for the std::map of Fig. 8)\n",
-                static_cast<double>(big.memory_bytes()) / 1e9);
+                gb);
+    report.add_counter("compact/paper_scale_gb/d10_l11", gb, "GB",
+                       Better::kLess);
   }
+  csg::bench::finish_report(report, args);
   return 0;
 }

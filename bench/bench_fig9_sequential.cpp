@@ -21,6 +21,8 @@ namespace {
 using namespace csg;
 using namespace csg::baselines;
 using csg::bench::Args;
+using csg::bench::Better;
+using csg::bench::Report;
 
 struct Timings {
   double hierarchize_s;
@@ -30,28 +32,46 @@ struct Timings {
 template <GridStorage S>
 Timings run(dim_t d, level_t n, std::size_t eval_points) {
   const auto f = workloads::parabola_product(d);
+  // Hierarchization mutates the storage in place, so repeating it means
+  // rebuilding; only the transform itself is accumulated, and the cycle
+  // repeats until at least 50 ms of it was observed. At paper shapes one
+  // call exceeds the window and this degenerates to a single timing.
+  constexpr double kMinSeconds = 0.05;
+  auto transform = [](S& s) {
+    if constexpr (std::is_same_v<S, CompactStorage>)
+      hierarchize(s);
+    else if constexpr (std::is_same_v<S, PrefixTreeStorage>)
+      hierarchize_native(s);  // child-pointer descent, paper-style
+    else
+      hierarchize_recursive(s);
+  };
+  double h_accum = 0;
+  int h_calls = 0;
+  do {
+    S rebuilt(d, n);
+    sample(rebuilt, f.f);
+    h_accum += csg::bench::time_s([&] { transform(rebuilt); });
+    ++h_calls;
+  } while (h_accum < kMinSeconds);
+  const double h = h_accum / h_calls;
+
   S storage(d, n);
   sample(storage, f.f);
-  const double h = csg::bench::time_s([&] {
-    if constexpr (std::is_same_v<S, CompactStorage>)
-      hierarchize(storage);
-    else if constexpr (std::is_same_v<S, PrefixTreeStorage>)
-      hierarchize_native(storage);  // child-pointer descent, paper-style
-    else
-      hierarchize_recursive(storage);
-  });
+  transform(storage);
   const auto pts = workloads::uniform_points(d, eval_points, 99);
   double e;
   if constexpr (std::is_same_v<S, CompactStorage>) {
-    e = csg::bench::time_s([&] { (void)evaluate_many(storage, pts); });
+    e = csg::bench::time_per_call_s(
+        [&] { (void)evaluate_many(storage, pts); }, kMinSeconds);
   } else if constexpr (std::is_same_v<S, PrefixTreeStorage>) {
-    e = csg::bench::time_s([&] {
-      for (const CoordVector& x : pts) (void)evaluate_native(storage, x);
-    });
+    e = csg::bench::time_per_call_s(
+        [&] {
+          for (const CoordVector& x : pts) (void)evaluate_native(storage, x);
+        },
+        kMinSeconds);
   } else {
-    e = csg::bench::time_s([&] {
-      (void)evaluate_many_recursive(storage, pts);
-    });
+    e = csg::bench::time_per_call_s(
+        [&] { (void)evaluate_many_recursive(storage, pts); }, kMinSeconds);
   }
   return {h, e / static_cast<double>(eval_points)};
 }
@@ -72,6 +92,15 @@ int main(int argc, char** argv) {
   std::printf("level %u grids, %zu evaluation points per dimension count\n\n",
               level, points);
 
+  Report report("bench_fig9_sequential",
+                "sequential hierarchization and evaluation runtimes per data "
+                "structure",
+                "Fig. 9a/9b");
+  report.set_param("level", static_cast<std::int64_t>(level));
+  report.set_param("points", static_cast<std::int64_t>(points));
+  report.set_param("dims_min", static_cast<std::int64_t>(d_lo));
+  report.set_param("dims_max", static_cast<std::int64_t>(d_hi));
+
   const char* names[5] = {"compact", "prefix_tree", "enhanced_hash",
                           "enhanced_map", "std_map"};
   std::vector<std::array<Timings, 5>> results;
@@ -84,6 +113,22 @@ int main(int argc, char** argv) {
     row[3] = run<EnhancedMapStorage>(d, level, points);
     row[4] = run<StdMapStorage>(d, level, points);
     results.push_back(row);
+    // Hierarchization mutates the storage in place, so each timing is one
+    // observation — recorded as a single-sample time metric with a wide
+    // noise tolerance.
+    for (int s = 0; s < 5; ++s) {
+      const std::string base(names[s]);
+      const std::string dk = "/d" + std::to_string(d);
+      const Timings& t = row[static_cast<std::size_t>(s)];
+      report
+          .add_time(base + "/hierarchize_s" + dk,
+                    csg::bench::summarize({t.hierarchize_s}), "s")
+          .tolerance = 1.0;
+      report
+          .add_time(base + "/eval_us_per_point" + dk,
+                    csg::bench::summarize({t.eval_per_point_s}), "us", 1e6)
+          .tolerance = 1.0;
+    }
   }
 
   std::printf("Fig. 9a analogue: sequential hierarchization time (s)\n");
@@ -111,29 +156,36 @@ int main(int argc, char** argv) {
 
   std::printf("\nshape checks vs the paper:\n");
   const auto& last = results.back();
+  const bool compact_fastest_hier =
+      last[0].hierarchize_s <= last[2].hierarchize_s &&
+      last[0].hierarchize_s <= last[3].hierarchize_s &&
+      last[0].hierarchize_s <= last[4].hierarchize_s;
   std::printf("  compact fastest hierarchization at d=%u: %s\n", d_hi,
-              (last[0].hierarchize_s <= last[2].hierarchize_s &&
-               last[0].hierarchize_s <= last[3].hierarchize_s &&
-               last[0].hierarchize_s <= last[4].hierarchize_s)
-                  ? "yes"
-                  : "NO");
+              compact_fastest_hier ? "yes" : "NO");
   // The paper's wording for Fig. 9b: the prefix tree's evaluation is
   // "very close to the performance obtained with our data structure"
   // (both exploit the cache; at the paper's level-11 scale compact edges
   // ahead, at reduced levels the trie's branch pruning can win slightly).
+  const bool eval_shape_ok =
+      last[0].eval_per_point_s <= 2 * last[1].eval_per_point_s &&
+      last[1].eval_per_point_s <= 2 * last[0].eval_per_point_s &&
+      last[0].eval_per_point_s < last[3].eval_per_point_s &&
+      last[0].eval_per_point_s < last[4].eval_per_point_s;
   std::printf("  compact and prefix_tree evaluation within 2x of each other "
               "and ahead of both maps at d=%u: %s\n",
-              d_hi,
-              (last[0].eval_per_point_s <= 2 * last[1].eval_per_point_s &&
-               last[1].eval_per_point_s <= 2 * last[0].eval_per_point_s &&
-               last[0].eval_per_point_s < last[3].eval_per_point_s &&
-               last[0].eval_per_point_s < last[4].eval_per_point_s)
-                  ? "yes"
-                  : "NO");
+              d_hi, eval_shape_ok ? "yes" : "NO");
+  const bool std_map_slowest = last[4].hierarchize_s >= last[0].hierarchize_s &&
+                               last[4].hierarchize_s >= last[1].hierarchize_s;
   std::printf("  std_map slowest hierarchization at d=%u: %s\n", d_hi,
-              (last[4].hierarchize_s >= last[0].hierarchize_s &&
-               last[4].hierarchize_s >= last[1].hierarchize_s)
-                  ? "yes"
-                  : "NO");
+              std_map_slowest ? "yes" : "NO");
+  // Shape checks depend on the relative speed of small timings — recorded
+  // as neutral counters (informational, never gated).
+  report.add_counter("shape/compact_fastest_hierarchization",
+                     compact_fastest_hier ? 1 : 0, "bool", Better::kNeutral);
+  report.add_counter("shape/compact_prefix_tree_eval_close", eval_shape_ok ? 1 : 0,
+                     "bool", Better::kNeutral);
+  report.add_counter("shape/std_map_slowest_hierarchization",
+                     std_map_slowest ? 1 : 0, "bool", Better::kNeutral);
+  csg::bench::finish_report(report, args);
   return 0;
 }

@@ -1,11 +1,16 @@
 // Experiment E13 — microbenchmarks of the bijection itself (google-
 // benchmark): gp2idx, idx2gp, the next iterator and subspace ranking.
 // Supports the paper's O(d) claim for gp2idx (Sec. 4.2) with measured
-// per-call times across dimensionality.
+// per-call times across dimensionality. A reporter adapter mirrors every
+// per-iteration run into the shared BENCH_*.json record alongside the
+// console output.
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "csg/core/level_enumeration.hpp"
 #include "csg/core/regular_grid.hpp"
 #include "csg/testing/generators.hpp"
@@ -29,7 +34,7 @@ const RegularSparseGrid& grid_for(dim_t d) {
 // strided tour over-represents the early level groups, which are the
 // cheapest to encode).
 std::vector<GridPoint> sample_points(const RegularSparseGrid& g) {
-  std::mt19937_64 rng(0xbe'9c'00'01);
+  std::mt19937_64 rng(csg::testing::mix_seed(0xbe'9c'00'01));
   std::vector<GridPoint> pts;
   pts.reserve(512);
   for (int k = 0; k < 512; ++k)
@@ -101,6 +106,56 @@ void BM_unrank_subspace(benchmark::State& state) {
 }
 BENCHMARK(BM_unrank_subspace)->DenseRange(2, 10, 2);
 
+/// Console reporter that additionally mirrors every per-iteration run into
+/// the csg::bench JSON record (adjusted real time, in the run's time unit —
+/// nanoseconds by default).
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMirrorReporter(csg::bench::Report* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double per_op = run.GetAdjustedRealTime();
+      report_
+          ->add_time(run.benchmark_name() + "/per_op",
+                     csg::bench::summarize({per_op}),
+                     benchmark::GetTimeUnitString(run.time_unit))
+          .tolerance = 1.0;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  csg::bench::Report* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const csg::bench::Args args(argc, argv);
+  csg::bench::Report report("bench_gp2idx_micro",
+                            "microbenchmarks of the gp2idx bijection and "
+                            "subspace enumeration",
+                            "Sec. 4.2");
+  report.set_param("level", static_cast<std::int64_t>(kLevel));
+
+  // Strip the harness's own flags so google-benchmark does not see them.
+  std::vector<char*> bm_argv;
+  for (int k = 0; k < argc; ++k) {
+    if (std::string(argv[k]) == "--json-out" && k + 1 < argc) {
+      ++k;
+      continue;
+    }
+    bm_argv.push_back(argv[k]);
+  }
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+
+  JsonMirrorReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  csg::bench::finish_report(report, args);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Environment capture for benchmark records: every BENCH_*.json carries
+// enough provenance to interpret the numbers later — which compiler and
+// flags produced the binary, which commit it measured, how many OpenMP
+// threads were available, and what silicon it ran on. Two results are only
+// comparable when these fields (CPU model aside, which bench_compare treats
+// as advisory context) match.
+#pragma once
+
+#include <string>
+
+namespace csg::bench {
+
+struct Environment {
+  std::string compiler;       // e.g. "GNU 12.2.0"
+  std::string build_type;     // CMAKE_BUILD_TYPE baked in at configure time
+  std::string build_flags;    // effective CXX flags baked in at configure time
+  std::string git_sha;        // CSG_GIT_SHA env override, else configure-time
+  std::string cpu_model;      // /proc/cpuinfo "model name", "unknown" elsewhere
+  std::string timestamp_utc;  // ISO 8601, e.g. "2026-08-06T12:34:56Z"
+  int openmp_max_threads = 1;
+  int hardware_threads = 1;
+};
+
+/// Capture the current process environment. Cheap; called once per report.
+Environment capture_environment();
+
+}  // namespace csg::bench

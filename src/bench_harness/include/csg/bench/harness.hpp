@@ -1,0 +1,10 @@
+// Umbrella header for the csg::bench harness library: timed-region
+// execution with warmup/repetition and robust statistics (stats.hpp),
+// environment capture (env.hpp), and the JSON report (report.hpp).
+// See docs/BENCHMARKS.md for the schema and the measurement methodology.
+#pragma once
+
+#include "csg/bench/env.hpp"
+#include "csg/bench/json_writer.hpp"
+#include "csg/bench/report.hpp"
+#include "csg/bench/stats.hpp"

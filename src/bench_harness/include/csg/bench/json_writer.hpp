@@ -1,0 +1,150 @@
+// Minimal streaming JSON writer — just enough for the BENCH_*.json schema
+// (docs/BENCHMARKS.md). No parsing, no dependencies; the consumer side
+// (tools/bench_compare.py) uses Python's json module.
+//
+// Correctness notes: strings are escaped per RFC 8259 (control characters,
+// quotes, backslashes); doubles print with %.17g so values round-trip
+// bit-exactly; non-finite doubles become null, which the schema allows and
+// the compare tool skips.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace csg::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() {
+    comma();
+    os_ << '{';
+    stack_.push_back(State::kFirstInObject);
+  }
+  void end_object() {
+    stack_.pop_back();
+    os_ << '}';
+    mark_value_written();
+  }
+  void begin_array() {
+    comma();
+    os_ << '[';
+    stack_.push_back(State::kFirstInArray);
+  }
+  void end_array() {
+    stack_.pop_back();
+    os_ << ']';
+    mark_value_written();
+  }
+
+  void key(const std::string& name) {
+    comma();
+    write_string(name);
+    os_ << ':';
+    stack_.push_back(State::kAfterKey);
+  }
+
+  void value(const std::string& s) {
+    comma();
+    write_string(s);
+    mark_value_written();
+  }
+  void value(const char* s) { value(std::string(s)); }
+  void value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      os_ << buf;
+    }
+    mark_value_written();
+  }
+  void value(std::int64_t v) {
+    comma();
+    os_ << v;
+    mark_value_written();
+  }
+  void value(bool b) {
+    comma();
+    os_ << (b ? "true" : "false");
+    mark_value_written();
+  }
+
+  /// key + scalar value in one call.
+  template <typename T>
+  void kv(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// Emit a pre-rendered JSON scalar verbatim (caller guarantees validity).
+  void raw_value(const std::string& json) {
+    comma();
+    os_ << json;
+    mark_value_written();
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kFirstInObject,
+    kInObject,
+    kFirstInArray,
+    kInArray,
+    kAfterKey,
+  };
+
+  void comma() {
+    if (stack_.empty()) return;
+    State& s = stack_.back();
+    if (s == State::kInObject || s == State::kInArray) os_ << ',';
+  }
+
+  void mark_value_written() {
+    if (stack_.empty()) return;
+    State& s = stack_.back();
+    if (s == State::kAfterKey) {
+      stack_.pop_back();
+      if (!stack_.empty() && stack_.back() == State::kFirstInObject)
+        stack_.back() = State::kInObject;
+    } else if (s == State::kFirstInObject) {
+      s = State::kInObject;
+    } else if (s == State::kFirstInArray) {
+      s = State::kInArray;
+    }
+  }
+
+  void write_string(const std::string& s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<State> stack_;
+};
+
+}  // namespace csg::bench

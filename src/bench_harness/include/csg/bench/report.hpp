@@ -1,0 +1,103 @@
+// The benchmark report: named metrics (timed regions with robust statistics,
+// plus counters from the memory meter / cache simulator / analytic models)
+// collected into one JSON record per binary, schema documented in
+// docs/BENCHMARKS.md and gated in CI by tools/bench_compare.py.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "csg/bench/env.hpp"
+#include "csg/bench/stats.hpp"
+
+namespace csg::bench {
+
+/// Which direction of change is a regression for a metric. kLess: larger is
+/// worse (times, memory, misses). kMore: smaller is worse (speedups).
+/// kNeutral: informational only — bench_compare reports drift but never
+/// fails on it (model ratios, interpolation errors).
+enum class Better { kLess, kMore, kNeutral };
+
+struct Metric {
+  std::string name;
+  std::string unit;
+  Better better = Better::kLess;
+  bool is_time = false;  // JSON kind: "time" (min/median/mad) vs "counter"
+  double value = 0;      // counters: the value; times: the median
+  double min = 0;
+  double mad = 0;
+  std::vector<double> samples;
+  /// Optional per-metric relative noise tolerance (fraction, e.g. 0.5 =
+  /// +-50%) for known-noisy metrics; < 0 means "use the tool default".
+  double tolerance = -1;
+};
+
+/// How a timed region is repeated. With min_seconds > 0 each repetition
+/// loops the body until the window is filled and records seconds per call
+/// (for sub-millisecond regions); otherwise each repetition is one call.
+struct MeasureOptions {
+  int warmup = 1;
+  int repetitions = 3;
+  double min_seconds = 0;
+};
+
+/// Run body under warmup + repetitions and summarize (seconds per call).
+TimingStats measure(const std::function<void()>& body,
+                    const MeasureOptions& opts = {});
+
+class Report {
+ public:
+  /// `name` is the record id and default file stem ("BENCH_<name>.json");
+  /// by convention it is the binary name, e.g. "bench_table1_access".
+  Report(std::string name, std::string title, std::string paper_ref);
+
+  void set_param(const std::string& key, const std::string& value);
+  void set_param(const std::string& key, std::int64_t value);
+  void set_param(const std::string& key, double value);
+  void set_param(const std::string& key, bool value);
+
+  /// Record a counter-kind metric (memory bytes, cache misses per op,
+  /// modeled speedups, ...).
+  Metric& add_counter(const std::string& name, double value,
+                      const std::string& unit, Better better = Better::kLess);
+
+  /// Record a time-kind metric from summarized samples. `scale` converts
+  /// the seconds-based stats into `unit` (e.g. 1e9 for "ns", or
+  /// 1e9 / n_items for "ns" per item when the region batches n_items).
+  Metric& add_time(const std::string& name, const TimingStats& stats,
+                   const std::string& unit = "s", double scale = 1,
+                   Better better = Better::kLess);
+
+  /// measure() + add_time() in one call; returns the stats (seconds) so the
+  /// caller can also print its human-readable table.
+  TimingStats time(const std::string& name, const std::function<void()>& body,
+                   const MeasureOptions& opts = {},
+                   const std::string& unit = "s", double scale = 1);
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  /// Serialize the record (schema_version 1, docs/BENCHMARKS.md).
+  void write(std::ostream& os) const;
+
+  /// Write to `path`; when empty, resolve $CSG_BENCH_JSON_DIR (else the
+  /// working directory) + "/BENCH_<name>.json". Returns the path written,
+  /// or an empty string when the file could not be opened (a diagnostic is
+  /// printed; benchmarks still complete their console output).
+  std::string write_file(const std::string& path = "") const;
+
+ private:
+  struct Param {
+    std::string key;
+    std::string json_value;  // pre-rendered JSON scalar
+  };
+
+  std::string name_;
+  std::string title_;
+  std::string paper_ref_;
+  std::vector<Param> params_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace csg::bench

@@ -1,0 +1,56 @@
+// Robust summary statistics for repeated timing observations.
+//
+// Benchmarks report min / median / MAD instead of mean / stddev: the
+// distribution of wall-clock samples is one-sided (a run can only be slowed
+// down by interference, never sped up below the true cost), so the minimum
+// estimates the noise-free cost, the median is a robust central value, and
+// the median absolute deviation bounds the run-to-run noise without being
+// dragged by outliers the way a standard deviation is. bench_compare uses
+// the MAD to widen its per-metric tolerance on noisy metrics.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace csg::bench {
+
+/// Summary of a repeated measurement. All fields are in the unit of the
+/// input samples (the harness works in seconds; Report::add_time rescales).
+struct TimingStats {
+  std::vector<double> samples;
+  double min = 0;
+  double median = 0;
+  double mad = 0;  // median absolute deviation around the median
+
+  int repetitions() const { return static_cast<int>(samples.size()); }
+};
+
+inline double median_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lo + hi) / 2;
+}
+
+/// min / median / MAD of the given samples (samples are kept verbatim so
+/// the JSON record preserves the raw observations).
+inline TimingStats summarize(std::vector<double> samples) {
+  TimingStats t;
+  if (samples.empty()) return t;
+  t.min = *std::min_element(samples.begin(), samples.end());
+  t.median = median_of(samples);
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (const double s : samples) dev.push_back(std::fabs(s - t.median));
+  t.mad = median_of(std::move(dev));
+  t.samples = std::move(samples);
+  return t;
+}
+
+}  // namespace csg::bench

@@ -1,0 +1,80 @@
+#include "csg/bench/env.hpp"
+
+#include <omp.h>
+
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+namespace csg::bench {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("Clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("GNU ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (colon != std::string::npos &&
+        line.compare(0, 10, "model name") == 0) {
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::string utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace
+
+Environment capture_environment() {
+  Environment env;
+  env.compiler = compiler_id();
+#ifdef CSG_BENCH_BUILD_TYPE
+  env.build_type = CSG_BENCH_BUILD_TYPE;
+#else
+  env.build_type = "unknown";
+#endif
+#ifdef CSG_BENCH_BUILD_FLAGS
+  env.build_flags = CSG_BENCH_BUILD_FLAGS;
+#endif
+  // Runtime override first (CI exports the exact SHA under test), then the
+  // configure-time stamp, which can go stale between reconfigures.
+  if (const char* sha = std::getenv("CSG_GIT_SHA"); sha != nullptr) {
+    env.git_sha = sha;
+  } else {
+#ifdef CSG_BENCH_GIT_SHA
+    env.git_sha = CSG_BENCH_GIT_SHA;
+#else
+    env.git_sha = "unknown";
+#endif
+  }
+  env.cpu_model = cpu_model();
+  env.timestamp_utc = utc_now();
+  env.openmp_max_threads = omp_get_max_threads();
+  env.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  return env;
+}
+
+}  // namespace csg::bench

@@ -1,0 +1,206 @@
+#include "csg/bench/report.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "csg/bench/json_writer.hpp"
+
+namespace csg::bench {
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string render_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+const char* better_name(Better b) {
+  switch (b) {
+    case Better::kLess: return "less";
+    case Better::kMore: return "more";
+    case Better::kNeutral: return "neutral";
+  }
+  return "neutral";
+}
+
+}  // namespace
+
+TimingStats measure(const std::function<void()>& body,
+                    const MeasureOptions& opts) {
+  for (int w = 0; w < opts.warmup; ++w) body();
+  std::vector<double> samples;
+  const int reps = opts.repetitions < 1 ? 1 : opts.repetitions;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    if (opts.min_seconds > 0) {
+      // Fill the window, report seconds per call: the repetition sees the
+      // steady-state cost, not one cold observation.
+      int calls = 0;
+      const auto start = std::chrono::steady_clock::now();
+      double elapsed = 0;
+      do {
+        body();
+        ++calls;
+        elapsed = seconds_since(start);
+      } while (elapsed < opts.min_seconds);
+      samples.push_back(elapsed / calls);
+    } else {
+      const auto start = std::chrono::steady_clock::now();
+      body();
+      samples.push_back(seconds_since(start));
+    }
+  }
+  return summarize(std::move(samples));
+}
+
+Report::Report(std::string name, std::string title, std::string paper_ref)
+    : name_(std::move(name)),
+      title_(std::move(title)),
+      paper_ref_(std::move(paper_ref)) {}
+
+void Report::set_param(const std::string& key, const std::string& value) {
+  std::string quoted = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  params_.push_back({key, quoted});
+}
+
+void Report::set_param(const std::string& key, std::int64_t value) {
+  params_.push_back({key, std::to_string(value)});
+}
+
+void Report::set_param(const std::string& key, double value) {
+  params_.push_back({key, render_number(value)});
+}
+
+void Report::set_param(const std::string& key, bool value) {
+  params_.push_back({key, value ? "true" : "false"});
+}
+
+Metric& Report::add_counter(const std::string& name, double value,
+                            const std::string& unit, Better better) {
+  Metric m;
+  m.name = name;
+  m.unit = unit;
+  m.better = better;
+  m.is_time = false;
+  m.value = value;
+  metrics_.push_back(std::move(m));
+  return metrics_.back();
+}
+
+Metric& Report::add_time(const std::string& name, const TimingStats& stats,
+                         const std::string& unit, double scale,
+                         Better better) {
+  Metric m;
+  m.name = name;
+  m.unit = unit;
+  m.better = better;
+  m.is_time = true;
+  m.value = stats.median * scale;
+  m.min = stats.min * scale;
+  m.mad = stats.mad * scale;
+  m.samples.reserve(stats.samples.size());
+  for (const double s : stats.samples) m.samples.push_back(s * scale);
+  metrics_.push_back(std::move(m));
+  return metrics_.back();
+}
+
+TimingStats Report::time(const std::string& name,
+                         const std::function<void()>& body,
+                         const MeasureOptions& opts, const std::string& unit,
+                         double scale) {
+  TimingStats stats = measure(body, opts);
+  add_time(name, stats, unit, scale);
+  return stats;
+}
+
+void Report::write(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", std::int64_t{1});
+  w.kv("benchmark", name_);
+  w.kv("title", title_);
+  w.kv("paper_ref", paper_ref_);
+
+  const Environment env = capture_environment();
+  w.key("environment");
+  w.begin_object();
+  w.kv("compiler", env.compiler);
+  w.kv("build_type", env.build_type);
+  w.kv("build_flags", env.build_flags);
+  w.kv("git_sha", env.git_sha);
+  w.kv("cpu_model", env.cpu_model);
+  w.kv("timestamp_utc", env.timestamp_utc);
+  w.kv("openmp_max_threads", std::int64_t{env.openmp_max_threads});
+  w.kv("hardware_threads", std::int64_t{env.hardware_threads});
+  w.end_object();
+
+  w.key("parameters");
+  w.begin_object();
+  for (const Param& p : params_) {
+    w.key(p.key);
+    w.raw_value(p.json_value);
+  }
+  w.end_object();
+
+  w.key("metrics");
+  w.begin_array();
+  for (const Metric& m : metrics_) {
+    w.begin_object();
+    w.kv("name", m.name);
+    w.kv("unit", m.unit);
+    w.kv("better", std::string(better_name(m.better)));
+    w.kv("kind", std::string(m.is_time ? "time" : "counter"));
+    w.kv("value", m.value);
+    if (m.is_time) {
+      w.kv("min", m.min);
+      w.kv("median", m.value);
+      w.kv("mad", m.mad);
+      w.kv("repetitions", static_cast<std::int64_t>(m.samples.size()));
+      w.key("samples");
+      w.begin_array();
+      for (const double s : m.samples) w.value(s);
+      w.end_array();
+    }
+    if (m.tolerance >= 0) w.kv("tolerance", m.tolerance);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::string Report::write_file(const std::string& path) const {
+  std::string out = path;
+  if (out.empty()) {
+    std::string dir;
+    if (const char* d = std::getenv("CSG_BENCH_JSON_DIR"); d != nullptr)
+      dir = d;
+    out = dir.empty() ? "BENCH_" + name_ + ".json"
+                      : dir + "/BENCH_" + name_ + ".json";
+  }
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "csg::bench: cannot open %s for writing\n",
+                 out.c_str());
+    return "";
+  }
+  write(os);
+  return out;
+}
+
+}  // namespace csg::bench

@@ -73,6 +73,24 @@ OracleResult check_evaluate_parity(const CompactStorage& coeffs,
 /// save/load round trip is bit-exact and shape-preserving.
 OracleResult check_serialize_round_trip(const CompactStorage& values);
 
+/// The combination technique reproduces the direct interpolant: sampling
+/// the component grids with the compact interpolant of `nodal` (every
+/// component point lies on the sparse grid, so this equals sampling the
+/// original function), the combined evaluation must agree at `points` and
+/// to_compact must return the reference coefficients. Cross-validates the
+/// component enumeration and weights against gp2idx/hierarchize/Alg. 7
+/// through an independent representation.
+OracleResult check_combination_parity(const CompactStorage& nodal,
+                                      std::span<const CoordVector> points,
+                                      const OracleOptions& opts = {});
+
+/// The spatially adaptive (hash-keyed) representation seeded with the same
+/// regular point set computes the same surpluses at every grid point and
+/// the same interpolant at `points` as the compact structure.
+OracleResult check_adaptive_parity(const CompactStorage& nodal,
+                                   std::span<const CoordVector> points,
+                                   const OracleOptions& opts = {});
+
 /// The full battery on one grid function: parity, round trip, evaluation
 /// differentials at a random point cloud, serialization. `nodal` is
 /// interpreted as nodal samples. This is the one-call oracle property

@@ -3,9 +3,11 @@
 #include <cmath>
 #include <sstream>
 
+#include "csg/adaptive/adaptive_grid.hpp"
 #include "csg/baselines/generic_algorithms.hpp"
 #include "csg/baselines/map_storages.hpp"
 #include "csg/baselines/prefix_tree_storage.hpp"
+#include "csg/combination/combination_grid.hpp"
 #include "csg/core/evaluate.hpp"
 #include "csg/core/hierarchize.hpp"
 #include "csg/io/serialize.hpp"
@@ -255,6 +257,101 @@ OracleResult check_serialize_round_trip(const CompactStorage& values) {
     return r;
   }
   compare_arrays(r, values, reloaded, "serialize round trip", 0, 0);
+  return r;
+}
+
+OracleResult check_combination_parity(const CompactStorage& nodal,
+                                      std::span<const CoordVector> points,
+                                      const OracleOptions& opts) {
+  OracleResult r;
+  CompactStorage ref = nodal;
+  hierarchize(ref);
+
+  // Every component grid point lies on the sparse grid, so sampling the
+  // components with the compact interpolant equals sampling the original
+  // function there: the combination identity must then hold everywhere.
+  combination::CombinationGrid combi(nodal.dim(), nodal.grid().level());
+  combi.sample([&](const CoordVector& x) { return evaluate(ref, x); });
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    ++r.comparisons;
+    const real_t direct = evaluate(ref, points[p]);
+    const real_t combined = combi.evaluate(points[p]);
+    if (!close(direct, combined, opts.cross_ulps, opts.abs_floor)) {
+      std::ostringstream os;
+      os << "combination identity fails at point " << p << ": "
+         << describe_mismatch(direct, combined);
+      r.ok = false;
+      r.detail = os.str();
+      return r;
+    }
+  }
+
+  // Round-tripping through the replicated representation and back must
+  // reproduce the hierarchical coefficients.
+  const CompactStorage regathered = combination::to_compact(combi);
+  if (!(regathered.grid() == ref.grid())) {
+    r.ok = false;
+    r.detail = "to_compact(combination) changed the grid shape";
+    return r;
+  }
+  compare_arrays(r, ref, regathered, "combination to_compact round trip",
+                 opts.cross_ulps, opts.abs_floor);
+  return r;
+}
+
+OracleResult check_adaptive_parity(const CompactStorage& nodal,
+                                   std::span<const CoordVector> points,
+                                   const OracleOptions& opts) {
+  OracleResult r;
+  CompactStorage ref = nodal;
+  hierarchize(ref);
+
+  adaptive::AdaptiveSparseGrid adaptive(nodal.dim(), nodal.grid().level());
+  if (adaptive.num_points() != nodal.grid().num_points()) {
+    r.ok = false;
+    r.detail = "adaptive grid seeded at level " +
+               std::to_string(nodal.grid().level()) + " holds " +
+               std::to_string(adaptive.num_points()) + " points, compact has " +
+               std::to_string(nodal.grid().num_points());
+    return r;
+  }
+  baselines::for_each_point(
+      nodal.grid(), [&](const LevelVector& l, const IndexVector& i) {
+        adaptive.set_node(GridPoint{l, i}, nodal.at(l, i), 0);
+      });
+  adaptive.hierarchize();
+
+  // The unstructured hierarchization (per-node ancestor walks) must find
+  // the same surpluses the compact unidirectional passes compute.
+  adaptive.for_each_node([&](const adaptive::AdaptiveSparseGrid::Node& node) {
+    if (!r.ok) return;
+    ++r.comparisons;
+    const real_t expected = ref.at(node.point.level, node.point.index);
+    if (!close(expected, node.surplus, opts.cross_ulps, opts.abs_floor)) {
+      std::ostringstream os;
+      os << "adaptive surplus disagrees at l=" << node.point.level
+         << " i=" << node.point.index << ": "
+         << describe_mismatch(expected, node.surplus);
+      r.ok = false;
+      r.detail = os.str();
+    }
+  });
+  if (!r.ok) return r;
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    ++r.comparisons;
+    const real_t direct = evaluate(ref, points[p]);
+    const real_t adapted = adaptive.evaluate(points[p]);
+    if (!close(direct, adapted, opts.cross_ulps, opts.abs_floor)) {
+      std::ostringstream os;
+      os << "adaptive interpolant disagrees at point " << p << ": "
+         << describe_mismatch(direct, adapted);
+      r.ok = false;
+      r.detail = os.str();
+      return r;
+    }
+  }
   return r;
 }
 

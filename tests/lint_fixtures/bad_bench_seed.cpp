@@ -1,0 +1,16 @@
+// Known-bad fixture for the bench-seed rule: RNG engines in bench/ seeded
+// with bare integer literals instead of csg::testing::mix_seed. Raw seeds
+// repeated across binaries correlate the sampled workloads and cannot be
+// replayed through the CSG_PROPERTY_SEED machinery.
+#include <random>
+
+void bad_bench_seeds() {
+  std::mt19937 gen(42);              // flagged: bare literal seed
+  std::mt19937_64 rng(2024);         // flagged: bare literal seed
+  std::default_random_engine e{7};   // flagged: brace form, still a literal
+  std::mt19937_64 hex(0xbeef);       // flagged: hex literal seed
+  (void)gen();
+  (void)rng();
+  (void)e();
+  (void)hex();
+}

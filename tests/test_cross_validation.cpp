@@ -93,6 +93,30 @@ TEST_P(CrossValidation, AllRepresentationsAgreeOnRandomCoefficients) {
   }
 }
 
+TEST_P(CrossValidation, CombinationOracleOnRandomData) {
+  // check_combination_parity: the combination identity at random probes
+  // plus the to_compact round trip back to the reference coefficients.
+  const GridShape shape = random_shape(2, 4, 3, 4);
+  const CompactStorage nodal = testing::random_coefficients(rng, shape);
+  const auto pts = testing::random_points(rng, shape.d, 48);
+  const testing::OracleResult r =
+      testing::check_combination_parity(nodal, pts);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(r.comparisons, 0u);
+}
+
+TEST_P(CrossValidation, AdaptiveOracleOnRandomData) {
+  // check_adaptive_parity: per-point surplus agreement between the
+  // hash-keyed unstructured hierarchization and the compact passes, plus
+  // interpolant agreement at random probes.
+  const GridShape shape = random_shape(2, 4, 3, 4);
+  const CompactStorage nodal = testing::random_coefficients(rng, shape);
+  const auto pts = testing::random_points(rng, shape.d, 48);
+  const testing::OracleResult r = testing::check_adaptive_parity(nodal, pts);
+  EXPECT_TRUE(r.ok) << r.detail;
+  EXPECT_GT(r.comparisons, 0u);
+}
+
 TEST_P(CrossValidation, RestrictionAgreesAtRandomPlanes) {
   const GridShape shape = random_shape(3, 5, 3, 4);
   const dim_t d = shape.d;

@@ -1,5 +1,6 @@
 #include "csg/core/regular_grid.hpp"
 #include "csg/testing/param_names.hpp"
+#include "csg/testing/property.hpp"
 
 #include <gtest/gtest.h>
 
@@ -104,16 +105,27 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(RegularGrid, RandomizedBijectionAtPaperScale) {
   // d=10, n=11 is too large for exhaustion; sample random flat positions.
+  // A property so every iteration draws an independent sample set and a
+  // failure prints its CSG_PROPERTY_SEED replay line (docs/TESTING.md).
   RegularSparseGrid g(10, 11);
   ASSERT_EQ(g.num_points(), 127574017u);
-  std::mt19937_64 rng(2024);
-  std::uniform_int_distribution<flat_index_t> dist(0, g.num_points() - 1);
-  for (int trial = 0; trial < 20000; ++trial) {
-    const flat_index_t idx = dist(rng);
-    const GridPoint gp = g.idx2gp(idx);
-    ASSERT_TRUE(g.contains(gp));
-    ASSERT_EQ(g.gp2idx(gp), idx);
-  }
+  const auto r = testing::run_property(
+      {"bijection_at_paper_scale", 8}, [&](std::mt19937_64& rng) {
+        std::uniform_int_distribution<flat_index_t> dist(0,
+                                                         g.num_points() - 1);
+        for (int trial = 0; trial < 4000; ++trial) {
+          const flat_index_t idx = dist(rng);
+          const GridPoint gp = g.idx2gp(idx);
+          if (!g.contains(gp))
+            return "idx2gp(" + std::to_string(idx) +
+                   ") left the grid (contains() = false)";
+          if (const flat_index_t back = g.gp2idx(gp); back != idx)
+            return "round trip " + std::to_string(idx) + " -> gp -> " +
+                   std::to_string(back);
+        }
+        return std::string{};
+      });
+  EXPECT_TRUE(r.passed) << r.detail;
 }
 
 TEST(RegularGrid, ContainsRejectsOutOfGridPoints) {

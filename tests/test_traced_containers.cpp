@@ -5,7 +5,10 @@
 #include <cmath>
 #include <map>
 #include <random>
+#include <string>
 #include <unordered_map>
+
+#include "csg/testing/property.hpp"
 
 namespace csg::memsim {
 namespace {
@@ -26,12 +29,17 @@ TEST(TracedAvlMap, InsertFindUpdate) {
   EXPECT_DOUBLE_EQ(*m.find(5, kNoTouch), -1.0);
 }
 
-TEST(TracedAvlMap, AgreesWithStdMapUnderRandomWorkload) {
-  TracedAvlMap<std::uint64_t, double> mine(4096);
-  std::map<std::uint64_t, double> ref;
-  std::mt19937_64 rng(99);
-  for (int op = 0; op < 20000; ++op) {
-    const std::uint64_t key = rng() % 3000;
+// Differential workload shared by the AVL and hash map properties: mixed
+// insert/overwrite/lookup traffic diffed against a std reference map. A
+// property body, so every iteration is a fresh workload and failures carry
+// a CSG_PROPERTY_SEED replay line (docs/TESTING.md).
+template <typename Mine, typename Ref>
+std::string random_workload_diff(std::mt19937_64& rng, std::uint64_t key_range,
+                                 int ops) {
+  Mine mine(4096);
+  Ref ref;
+  for (int op = 0; op < ops; ++op) {
+    const std::uint64_t key = rng() % key_range;
     if (op % 3 != 2) {
       const double v = static_cast<double>(rng() % 1000);
       mine.insert_or_assign(key, v, kNoTouch);
@@ -40,14 +48,31 @@ TEST(TracedAvlMap, AgreesWithStdMapUnderRandomWorkload) {
       const double* mv = mine.find(key, kNoTouch);
       const auto it = ref.find(key);
       if (it == ref.end()) {
-        EXPECT_EQ(mv, nullptr);
-      } else {
-        ASSERT_NE(mv, nullptr);
-        EXPECT_EQ(*mv, it->second);
+        if (mv != nullptr)
+          return "find(" + std::to_string(key) +
+                 ") returned a value for an absent key";
+      } else if (mv == nullptr) {
+        return "find(" + std::to_string(key) + ") missed a present key";
+      } else if (*mv != it->second) {
+        return "find(" + std::to_string(key) + ") = " + std::to_string(*mv) +
+               ", reference has " + std::to_string(it->second);
       }
     }
   }
-  EXPECT_EQ(mine.size(), ref.size());
+  if (mine.size() != ref.size())
+    return "size " + std::to_string(mine.size()) + " vs reference " +
+           std::to_string(ref.size());
+  return {};
+}
+
+TEST(TracedAvlMap, AgreesWithStdMapUnderRandomWorkload) {
+  const auto r = csg::testing::run_property(
+      {"traced_avl_vs_std_map", 8}, [](std::mt19937_64& rng) {
+        return random_workload_diff<TracedAvlMap<std::uint64_t, double>,
+                                    std::map<std::uint64_t, double>>(
+            rng, 3000, 20000);
+      });
+  EXPECT_TRUE(r.passed) << r.detail;
 }
 
 TEST(TracedAvlMap, HeightStaysLogarithmic) {
@@ -101,27 +126,13 @@ TEST(TracedHashMap, InsertFindUpdate) {
 }
 
 TEST(TracedHashMap, AgreesWithUnorderedMapUnderRandomWorkload) {
-  TracedHashMap<std::uint64_t, double> mine(4096);
-  std::unordered_map<std::uint64_t, double> ref;
-  std::mt19937_64 rng(7);
-  for (int op = 0; op < 20000; ++op) {
-    const std::uint64_t key = rng() % 2500;
-    if (op % 3 != 2) {
-      const double v = static_cast<double>(rng() % 1000);
-      mine.insert_or_assign(key, v, kNoTouch);
-      ref[key] = v;
-    } else {
-      const double* mv = mine.find(key, kNoTouch);
-      const auto it = ref.find(key);
-      if (it == ref.end()) {
-        EXPECT_EQ(mv, nullptr);
-      } else {
-        ASSERT_NE(mv, nullptr);
-        EXPECT_EQ(*mv, it->second);
-      }
-    }
-  }
-  EXPECT_EQ(mine.size(), ref.size());
+  const auto r = csg::testing::run_property(
+      {"traced_hash_vs_unordered_map", 8}, [](std::mt19937_64& rng) {
+        return random_workload_diff<TracedHashMap<std::uint64_t, double>,
+                                    std::unordered_map<std::uint64_t, double>>(
+            rng, 2500, 20000);
+      });
+  EXPECT_TRUE(r.passed) << r.detail;
 }
 
 TEST(TracedHashMap, ChainsStayShortAtDesignLoadFactor) {

@@ -1,0 +1,395 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json records (or directories of them) metric by metric.
+
+The schema is produced by csg::bench::Report (docs/BENCHMARKS.md). Usage:
+
+    bench_compare.py BASELINE CURRENT [--fail-ratio R] [--require-all]
+    bench_compare.py --validate FILE...
+    bench_compare.py --selftest
+
+Comparison model, per metric:
+
+* ``better: neutral`` metrics are informational and never gated.
+* Every gated metric gets a relative tolerance band around the baseline
+  value: the record's own ``tolerance`` field when present, else a default
+  by kind (wide for wall-clock ``time`` metrics, tight for deterministic
+  ``counter`` metrics). Time metrics additionally widen the band by
+  3 * MAD / value from whichever record is noisier — a run whose own
+  repetition spread exceeds its tolerance should not be gated by it.
+* A ``time`` metric beyond its band but within ``--fail-ratio`` is a
+  REGRESSION (reported, exit stays 0); beyond ``--fail-ratio`` it is a
+  FAILURE (exit 1). ``counter`` metrics beyond their band always fail —
+  deterministic quantities have no noise to be advisory about. With the
+  default --fail-ratio 1.0 every regression is a failure.
+
+Exit codes: 0 clean (regressions may be listed as warnings when
+--fail-ratio > 1), 1 failures or validation errors, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import tempfile
+from typing import Any
+
+TIME_DEFAULT_TOLERANCE = 0.5     # +/-50% on wall-clock metrics
+COUNTER_DEFAULT_TOLERANCE = 1e-6  # deterministic counters gate tightly
+MAD_WIDENING = 3.0
+
+REQUIRED_TOP = ("schema_version", "benchmark", "title", "paper_ref",
+                "environment", "parameters", "metrics")
+REQUIRED_ENV = ("compiler", "build_type", "build_flags", "git_sha",
+                "cpu_model", "timestamp_utc", "openmp_max_threads",
+                "hardware_threads")
+REQUIRED_METRIC = ("name", "unit", "better", "kind", "value")
+
+
+def validate_record(rec: Any, path: str) -> list[str]:
+    """Return a list of schema violations (empty when the record is valid)."""
+    errors = []
+    if not isinstance(rec, dict):
+        return [f"{path}: top level is not an object"]
+    for key in REQUIRED_TOP:
+        if key not in rec:
+            errors.append(f"{path}: missing top-level key '{key}'")
+    if rec.get("schema_version") != 1:
+        errors.append(f"{path}: schema_version is {rec.get('schema_version')},"
+                      " expected 1")
+    env = rec.get("environment", {})
+    if isinstance(env, dict):
+        for key in REQUIRED_ENV:
+            if key not in env:
+                errors.append(f"{path}: environment missing '{key}'")
+    else:
+        errors.append(f"{path}: environment is not an object")
+    if not isinstance(rec.get("parameters", {}), dict):
+        errors.append(f"{path}: parameters is not an object")
+    metrics = rec.get("metrics", [])
+    if not isinstance(metrics, list):
+        return errors + [f"{path}: metrics is not an array"]
+    seen = set()
+    for i, m in enumerate(metrics):
+        where = f"{path}: metrics[{i}]"
+        if not isinstance(m, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key in REQUIRED_METRIC:
+            if key not in m:
+                errors.append(f"{where} missing '{key}'")
+        name = m.get("name")
+        if name in seen:
+            errors.append(f"{where} duplicate metric name '{name}'")
+        seen.add(name)
+        if m.get("better") not in ("less", "more", "neutral"):
+            errors.append(f"{where} bad better '{m.get('better')}'")
+        if m.get("kind") not in ("time", "counter"):
+            errors.append(f"{where} bad kind '{m.get('kind')}'")
+        value = m.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where} value is not a number")
+        if m.get("kind") == "time":
+            for key in ("min", "median", "mad", "repetitions", "samples"):
+                if key not in m:
+                    errors.append(f"{where} time metric missing '{key}'")
+    return errors
+
+
+def load_record(path: str) -> Any:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def metric_tolerance(m: dict) -> float:
+    if "tolerance" in m:
+        return float(m["tolerance"])
+    return (TIME_DEFAULT_TOLERANCE if m.get("kind") == "time"
+            else COUNTER_DEFAULT_TOLERANCE)
+
+
+def noise_widening(base: dict, cur: dict) -> float:
+    """Extra relative slack from the repetition spread of either record."""
+    slack = 0.0
+    for m in (base, cur):
+        mad = m.get("mad")
+        value = m.get("value")
+        if isinstance(mad, (int, float)) and isinstance(value, (int, float)) \
+                and value:
+            slack = max(slack, MAD_WIDENING * abs(mad) / abs(value))
+    return slack
+
+
+class Comparison:
+    def __init__(self) -> None:
+        self.regressions: list[str] = []
+        self.failures: list[str] = []
+        self.improvements: list[str] = []
+        self.notes: list[str] = []
+        self.checked = 0
+
+    def compare_metric(self, bench: str, base: dict, cur: dict,
+                       fail_ratio: float) -> None:
+        name = f"{bench}:{base['name']}"
+        better = base.get("better", "neutral")
+        if better == "neutral":
+            return
+        bval, cval = float(base["value"]), float(cur["value"])
+        self.checked += 1
+        tol = metric_tolerance(base) + noise_widening(base, cur)
+        # Orient so that larger `ratio` is always worse.
+        if better == "less":
+            ratio = _safe_ratio(cval, bval)
+        else:
+            ratio = _safe_ratio(bval, cval)
+        if math.isnan(ratio):
+            self.notes.append(f"{name}: baseline and current both zero")
+            return
+        desc = (f"{name}: {bval:.6g} -> {cval:.6g} {base.get('unit', '')}"
+                f" (x{ratio:.2f} worse, tolerance +{tol * 100:.0f}%)")
+        if ratio > 1.0 + tol:
+            # --fail-ratio softens wall-clock noise only: a deterministic
+            # counter beyond its band is a real change and always fails.
+            advisory = base.get("kind") == "time" and \
+                ratio <= max(1.0 + tol, fail_ratio)
+            if advisory:
+                self.regressions.append(desc)
+            else:
+                self.failures.append(desc)
+        elif ratio < 1.0 / (1.0 + tol):
+            self.improvements.append(
+                f"{name}: {bval:.6g} -> {cval:.6g} {base.get('unit', '')}"
+                f" (x{1.0 / ratio:.2f} better)")
+
+    def compare_records(self, base: Any, cur: Any, fail_ratio: float) -> None:
+        bench = base.get("benchmark", "?")
+        cur_by_name = {m["name"]: m for m in cur.get("metrics", [])}
+        for bm in base.get("metrics", []):
+            cm = cur_by_name.get(bm["name"])
+            if cm is None:
+                self.notes.append(
+                    f"{bench}:{bm['name']}: missing from current run")
+                continue
+            self.compare_metric(bench, bm, cm, fail_ratio)
+        base_names = {m["name"] for m in base.get("metrics", [])}
+        for name in cur_by_name:
+            if name not in base_names:
+                self.notes.append(f"{bench}:{name}: new metric (no baseline)")
+
+
+def _safe_ratio(num: float, den: float) -> float:
+    if den == 0.0:
+        return math.nan if num == 0.0 else math.inf
+    return num / den
+
+
+def collect_files(path: str) -> dict[str, str]:
+    """Map record filename -> full path for a file or directory argument."""
+    if os.path.isdir(path):
+        return {
+            name: os.path.join(path, name)
+            for name in sorted(os.listdir(path))
+            if name.startswith("BENCH_") and name.endswith(".json")
+        }
+    return {os.path.basename(path): path}
+
+
+def run_compare(args: argparse.Namespace) -> int:
+    base_files = collect_files(args.baseline)
+    cur_files = collect_files(args.current)
+    if not base_files:
+        print(f"bench_compare: no BENCH_*.json under {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    comparison = Comparison()
+    validation_errors = []
+    pairs = 0
+    for name, bpath in base_files.items():
+        cpath = cur_files.get(name)
+        if cpath is None:
+            msg = f"{name}: present in baseline, missing from current"
+            if args.require_all:
+                comparison.failures.append(msg)
+            else:
+                comparison.notes.append(msg)
+            continue
+        base, cur = load_record(bpath), load_record(cpath)
+        validation_errors += validate_record(base, bpath)
+        validation_errors += validate_record(cur, cpath)
+        if validation_errors:
+            continue
+        pairs += 1
+        comparison.compare_records(base, cur, args.fail_ratio)
+
+    for err in validation_errors:
+        print(f"INVALID  {err}")
+    for note in comparison.notes:
+        print(f"NOTE     {note}")
+    for imp in comparison.improvements:
+        print(f"BETTER   {imp}")
+    for reg in comparison.regressions:
+        print(f"WORSE    {reg}")
+    for fail in comparison.failures:
+        print(f"FAIL     {fail}")
+    print(f"bench_compare: {pairs} record pair(s), "
+          f"{comparison.checked} gated metric(s), "
+          f"{len(comparison.improvements)} better, "
+          f"{len(comparison.regressions)} worse (within --fail-ratio), "
+          f"{len(comparison.failures)} failed, "
+          f"{len(validation_errors)} invalid")
+    return 1 if comparison.failures or validation_errors else 0
+
+
+def run_validate(paths: list[str]) -> int:
+    errors = []
+    count = 0
+    for path in paths:
+        for _, full in sorted(collect_files(path).items()):
+            count += 1
+            try:
+                errors += validate_record(load_record(full), full)
+            except (OSError, json.JSONDecodeError) as exc:
+                errors.append(f"{full}: {exc}")
+    for err in errors:
+        print(f"INVALID  {err}")
+    print(f"bench_compare: validated {count} record(s), "
+          f"{len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+def _synthetic_record(time_value: float, counter_value: float) -> dict:
+    return {
+        "schema_version": 1,
+        "benchmark": "bench_selftest",
+        "title": "synthetic record for bench_compare --selftest",
+        "paper_ref": "none",
+        "environment": {
+            "compiler": "none", "build_type": "Release", "build_flags": "",
+            "git_sha": "0" * 12, "cpu_model": "none",
+            "timestamp_utc": "1970-01-01T00:00:00Z",
+            "openmp_max_threads": 1, "hardware_threads": 1,
+        },
+        "parameters": {"dims": 3},
+        "metrics": [
+            {
+                "name": "stage/seconds", "unit": "s", "better": "less",
+                "kind": "time", "value": time_value, "min": time_value,
+                "median": time_value, "mad": 0.0, "repetitions": 3,
+                "samples": [time_value] * 3, "tolerance": 0.5,
+            },
+            {
+                "name": "stage/refs", "unit": "refs", "better": "less",
+                "kind": "counter", "value": counter_value,
+            },
+            {
+                "name": "stage/host_threads", "unit": "threads",
+                "better": "neutral", "kind": "counter", "value": 8,
+            },
+        ],
+    }
+
+
+def run_selftest() -> int:
+    """Prove the tool detects an injected 3x slowdown and passes a no-op."""
+    failures = []
+
+    def check(label: str, ok: bool) -> None:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        if not ok:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "base")
+        cur_dir = os.path.join(tmp, "cur")
+        os.mkdir(base_dir)
+        os.mkdir(cur_dir)
+
+        def write(dirname: str, rec: dict) -> None:
+            with open(os.path.join(dirname, "BENCH_bench_selftest.json"),
+                      "w", encoding="utf-8") as fh:
+                json.dump(rec, fh)
+
+        base = _synthetic_record(time_value=1.0, counter_value=100.0)
+        check("synthetic record passes validation",
+              not validate_record(base, "synthetic"))
+
+        write(base_dir, base)
+        write(cur_dir, _synthetic_record(time_value=1.0, counter_value=100.0))
+        ns = argparse.Namespace(baseline=base_dir, current=cur_dir,
+                                fail_ratio=2.0, require_all=True)
+        check("identical records compare clean", run_compare(ns) == 0)
+
+        # 3x slowdown on the time metric: beyond its 50% tolerance AND the
+        # 2x fail ratio -> the tool must exit nonzero.
+        write(cur_dir, _synthetic_record(time_value=3.0, counter_value=100.0))
+        check("injected 3x slowdown fails", run_compare(ns) == 1)
+
+        # 1.8x slowdown: beyond tolerance but inside --fail-ratio 2.0 ->
+        # reported as WORSE, exit 0 (the advisory CI mode).
+        write(cur_dir, _synthetic_record(time_value=1.8, counter_value=100.0))
+        check("1.8x slowdown is advisory under --fail-ratio 2",
+              run_compare(ns) == 0)
+
+        # Deterministic counter drift fails even when tiny-looking (0.1%).
+        write(cur_dir, _synthetic_record(time_value=1.0, counter_value=100.2))
+        check("counter drift fails", run_compare(ns) == 1)
+
+        # Neutral metrics never gate: only the neutral one changed.
+        cur = _synthetic_record(time_value=1.0, counter_value=100.0)
+        cur["metrics"][2]["value"] = 999
+        write(cur_dir, cur)
+        check("neutral metric change compares clean", run_compare(ns) == 0)
+
+        # A record that loses a metric is noted; with --require-all a
+        # missing file fails.
+        os.remove(os.path.join(cur_dir, "BENCH_bench_selftest.json"))
+        check("missing record fails under --require-all",
+              run_compare(ns) == 1)
+
+        # Schema violations are caught.
+        bad = _synthetic_record(time_value=1.0, counter_value=100.0)
+        del bad["metrics"][0]["samples"]
+        bad["metrics"][1]["better"] = "sideways"
+        check("validator flags bad records",
+              len(validate_record(bad, "bad")) == 2)
+
+    print("bench_compare --selftest: "
+          + ("PASS" if not failures else f"{len(failures)} FAILED"))
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare csg::bench BENCH_*.json records.")
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline BENCH_*.json file or directory")
+    parser.add_argument("current", nargs="?",
+                        help="current BENCH_*.json file or directory")
+    parser.add_argument("--fail-ratio", type=float, default=1.0,
+                        help="hard-fail only when a gated metric is this many"
+                             " times worse (default 1.0: any regression"
+                             " beyond tolerance fails)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail when a baseline record has no matching"
+                             " current record")
+    parser.add_argument("--validate", nargs="+", metavar="FILE",
+                        help="only validate the given records/directories")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in detection self-test")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return run_selftest()
+    if args.validate:
+        return run_validate(args.validate)
+    if not args.baseline or not args.current:
+        parser.print_usage(sys.stderr)
+        return 2
+    return run_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

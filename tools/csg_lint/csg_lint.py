@@ -22,9 +22,14 @@ Rules (catalog and suppression policy in docs/STATIC_ANALYSIS.md):
   omp-loop-counter       every `#pragma omp ... for` loop variable must be a
                          64-bit counter so the parallel trip count can never
                          overflow or narrow against 64-bit grid bounds
-  header-self-contained  every public header under src/*/include compiles
+  header-self-contained  every public header under src/*/include — plus
+                         bench/*.hpp and tools/**/*.hpp — compiles
                          standalone (g++ -fsyntax-only)
   pragma-once            every header in scope starts with #pragma once
+  bench-seed             benchmarks seed RNG engines through
+                         csg::testing::mix_seed, never a bare integer
+                         literal (raw seeds across binaries collide and
+                         correlate the sampled workloads)
 
 Findings are suppressed per site, never blanket:
   code();  // csg-lint: allow(rule-name) -- reason
@@ -395,11 +400,45 @@ class PragmaOnceRule(Rule):
                         "header is missing #pragma once")]
 
 
+class BenchSeedRule(Rule):
+    name = "bench-seed"
+    description = (
+        "benchmarks construct RNG engines via csg::testing::mix_seed, "
+        "not bare integer-literal seeds"
+    )
+
+    # An engine declaration whose constructor argument is a bare integer
+    # literal: `std::mt19937_64 rng(2024)` or `mt19937 g{42}`. Seeds routed
+    # through mix_seed(...) (or any other expression) do not match.
+    ENGINE = re.compile(
+        r"\b(?:std\s*::\s*)?"
+        r"(mt19937(?:_64)?|default_random_engine|minstd_rand0?)"
+        r"\s+\w+\s*[({]\s*(\d[\w']*)\s*[)}]"
+    )
+
+    def applies(self, relpath):
+        return relpath.replace(os.sep, "/").startswith("bench/")
+
+    def run(self, src):
+        findings = []
+        for m in self.ENGINE.finditer(src.masked):
+            engine, seed = m.groups()
+            line = src.line_of_offset(m.start())
+            findings.append(Finding(
+                self.name, src.relpath, line,
+                f"`{engine} ...({seed})`: bare literal seed; benchmarks "
+                "must derive seeds with csg::testing::mix_seed so per-"
+                "binary streams stay decorrelated and replayable",
+            ))
+        return findings
+
+
 class HeaderSelfContainedRule(Rule):
     """Compiles every public header standalone; not a per-file text rule."""
 
     name = "header-self-contained"
-    description = "public headers under src/*/include compile standalone"
+    description = ("public headers under src/*/include plus bench/ and "
+                   "tools/ headers compile standalone")
 
     def __init__(self, cxx):
         self.cxx = cxx
@@ -455,7 +494,7 @@ class HeaderSelfContainedRule(Rule):
 
 def text_rules(_args):
     return [ShiftWidthRule(), ImplicitNarrowingRule(), RawAllocRule(),
-            OmpLoopCounterRule(), PragmaOnceRule()]
+            OmpLoopCounterRule(), PragmaOnceRule(), BenchSeedRule()]
 
 
 def collect_sources(root):
@@ -473,15 +512,25 @@ def collect_sources(root):
 def collect_public_headers(root):
     out = []
     src = os.path.join(root, "src")
-    if not os.path.isdir(src):
-        return out
-    for mod in sorted(os.listdir(src)):
-        inc = os.path.join(src, mod, "include")
-        for dirpath, dirnames, filenames in os.walk(inc):
+    if os.path.isdir(src):
+        for mod in sorted(os.listdir(src)):
+            inc = os.path.join(src, mod, "include")
+            for dirpath, dirnames, filenames in os.walk(inc):
+                dirnames.sort()
+                for fn in sorted(filenames):
+                    if fn.endswith(".hpp"):
+                        out.append(
+                            os.path.relpath(os.path.join(dirpath, fn), root))
+    # Headers living outside src/*/include but included by many translation
+    # units (the bench front-end, any tools helpers) must be just as
+    # self-contained: they are the first include of every bench binary.
+    for base in ("bench", "tools"):
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, base)):
             dirnames.sort()
             for fn in sorted(filenames):
                 if fn.endswith(".hpp"):
-                    out.append(os.path.relpath(os.path.join(dirpath, fn), root))
+                    out.append(
+                        os.path.relpath(os.path.join(dirpath, fn), root))
     return out
 
 
@@ -527,6 +576,7 @@ FIXTURES = {
     "omp-loop-counter": "bad_omp_loop_counter.cpp",
     "header-self-contained": "bad_header_self_contained.hpp",
     "pragma-once": "bad_pragma_once.hpp",
+    "bench-seed": "bad_bench_seed.cpp",
 }
 
 

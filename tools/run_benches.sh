@@ -1,0 +1,134 @@
+#!/bin/sh
+# Run the bench/ experiment binaries as a suite and collect one
+# BENCH_<name>.json per binary (docs/BENCHMARKS.md).
+#
+#   tools/run_benches.sh [--suite smoke|paper] [--bin-dir DIR]
+#                        [--out-dir DIR] [--only NAME] [--list]
+#
+# Suites:
+#   smoke  reduced problem sizes, the whole suite in ~a minute — what the
+#          CI perf lane runs and what bench/baselines/smoke pins.
+#   paper  the full experiment shapes of DESIGN.md §4 (fig8/paper_scale at
+#          the real Sec. 6 sizes) — the nightly archive run.
+#
+# Exit status is the number of failing binaries (0 = all green).
+set -u
+
+SUITE=smoke
+BIN_DIR=build/bench
+OUT_DIR=bench-results
+ONLY=
+LIST=0
+
+usage() {
+  sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
+}
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --suite)   SUITE=$2; shift 2 ;;
+    --bin-dir) BIN_DIR=$2; shift 2 ;;
+    --out-dir) OUT_DIR=$2; shift 2 ;;
+    --only)    ONLY=$2; shift 2 ;;
+    --list)    LIST=1; shift ;;
+    -h|--help) usage ;;
+    *) echo "run_benches.sh: unknown argument '$1'" >&2; usage ;;
+  esac
+done
+
+case "$SUITE" in
+  smoke|paper) ;;
+  *) echo "run_benches.sh: unknown suite '$SUITE'" >&2; exit 2 ;;
+esac
+
+# args_<suite>_<bench> — one line per binary. The smoke shapes keep every
+# binary to seconds while still exercising each recorded metric; the paper
+# shapes are the defaults (sized for DESIGN.md §4) plus the --paper-scale
+# direct measurements where supported.
+args_smoke_bench_table1_access="--dims 4 --level 4"
+args_smoke_bench_fig8_memory="--level 5"
+args_smoke_bench_fig9_sequential="--level 4 --points 200 --dmin 5 --dmax 6"
+args_smoke_bench_fig10_speedup="--level 5 --points 64 --dmax 4"
+args_smoke_bench_fig11_scalability="--dims 4 --level 5 --points 64"
+args_smoke_bench_ablation_binmat="--level 4 --dmax 6"
+args_smoke_bench_ablation_sharedl="--level 4 --points 64"
+args_smoke_bench_ablation_blocking="--dims 4 --level 6 --points 512"
+args_smoke_bench_ablation_traversal="--level 4"
+args_smoke_bench_eval_plan="--dims 4 --level 7 --points 2000"
+args_smoke_bench_ext_fermi="--level 4 --points 64"
+args_smoke_bench_ext_combination="--level 5 --points 100"
+args_smoke_bench_ext_adaptive="--dims 2"
+args_smoke_bench_ext_slicing="--level 5 --width 48 --height 32"
+args_smoke_bench_ext_truncation="--dims 3 --level 6"
+args_smoke_bench_paper_scale="--level 7"
+args_smoke_bench_gp2idx_micro="--benchmark_min_time=0.05"
+
+args_paper_bench_table1_access=""
+args_paper_bench_fig8_memory="--paper-scale"
+args_paper_bench_fig9_sequential=""
+args_paper_bench_fig10_speedup=""
+args_paper_bench_fig11_scalability=""
+args_paper_bench_ablation_binmat=""
+args_paper_bench_ablation_sharedl=""
+args_paper_bench_ablation_blocking=""
+args_paper_bench_ablation_traversal=""
+args_paper_bench_eval_plan=""
+args_paper_bench_ext_fermi=""
+args_paper_bench_ext_combination=""
+args_paper_bench_ext_adaptive=""
+args_paper_bench_ext_slicing=""
+args_paper_bench_ext_truncation=""
+args_paper_bench_paper_scale="--paper-scale"
+args_paper_bench_gp2idx_micro=""
+
+BENCHES="bench_table1_access bench_fig8_memory bench_fig9_sequential \
+bench_fig10_speedup bench_fig11_scalability bench_ablation_binmat \
+bench_ablation_sharedl bench_ablation_blocking bench_ablation_traversal \
+bench_eval_plan bench_ext_fermi bench_ext_combination bench_ext_adaptive \
+bench_ext_slicing bench_ext_truncation bench_paper_scale bench_gp2idx_micro"
+
+if [ "$LIST" = 1 ]; then
+  for b in $BENCHES; do
+    eval "a=\${args_${SUITE}_${b}}"
+    echo "$b $a"
+  done
+  exit 0
+fi
+
+if [ ! -d "$BIN_DIR" ]; then
+  echo "run_benches.sh: bench binary directory '$BIN_DIR' not found" \
+       "(build first: cmake --build build -j)" >&2
+  exit 2
+fi
+
+mkdir -p "$OUT_DIR"
+failures=0
+ran=0
+for b in $BENCHES; do
+  if [ -n "$ONLY" ] && [ "$b" != "$ONLY" ]; then continue; fi
+  if [ ! -x "$BIN_DIR/$b" ]; then
+    echo "run_benches.sh: MISSING $BIN_DIR/$b" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  eval "a=\${args_${SUITE}_${b}}"
+  echo "==> $b $a"
+  # shellcheck disable=SC2086 -- suite args are intentionally word-split
+  if "$BIN_DIR/$b" $a --json-out "$OUT_DIR/BENCH_$b.json" \
+      > "$OUT_DIR/$b.log" 2>&1; then
+    ran=$((ran + 1))
+  else
+    echo "run_benches.sh: FAILED $b (see $OUT_DIR/$b.log)" >&2
+    tail -n 20 "$OUT_DIR/$b.log" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [ -n "$ONLY" ] && [ $((ran + failures)) -eq 0 ]; then
+  echo "run_benches.sh: no bench named '$ONLY'" >&2
+  exit 2
+fi
+
+echo "run_benches.sh: suite=$SUITE ran=$ran failed=$failures -> $OUT_DIR"
+exit "$failures"
