@@ -1,0 +1,215 @@
+// Experiment E15 — serving-layer benchmark: the csg::serve batched
+// evaluation front-end under a closed-loop load generator.
+//
+// Two kinds of metrics come out of one binary:
+//
+//  * deterministic batching/backpressure/deadline counters, produced on a
+//    paused service with a zero batching window so batch formation is pure
+//    arithmetic (batches == ceil(R / B), rejections == R - queue capacity,
+//    timeouts == requests with expired deadlines). These gate at 1e-6 in
+//    tools/bench_compare.py — any drift is a logic change, not noise.
+//  * wall-clock throughput/latency of the live service, recorded as
+//    neutral metrics (scheduler-dependent; informational only).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/serve/grid_registry.hpp"
+#include "csg/serve/service.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace {
+
+using namespace csg;
+using csg::bench::Args;
+using csg::bench::Better;
+using csg::bench::Report;
+
+CompactStorage make_grid(dim_t d, level_t n) {
+  CompactStorage s(d, n);
+  s.sample(workloads::simulation_field(d).f);
+  hierarchize(s);
+  return s;
+}
+
+/// Exact-equality gate: a deterministic counter whose drift in either
+/// direction is a logic change. kLess + 1e-6 makes growth a hard failure
+/// (and shrinkage a visible "improvement" in the comparison report).
+void add_exact(Report& report, const std::string& name, double value,
+               const std::string& unit) {
+  report.add_counter(name, value, unit, Better::kLess).tolerance = 1e-6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto d = static_cast<dim_t>(args.get_int("--dims", 3));
+  const auto n = static_cast<level_t>(args.get_int("--level", 5));
+  const auto requests =
+      static_cast<std::size_t>(args.get_int("--requests", 512));
+  const auto batch = static_cast<std::size_t>(args.get_int("--batch", 64));
+  const auto queue = static_cast<std::size_t>(args.get_int("--queue", 128));
+  const int producers = static_cast<int>(args.get_int("--producers", 4));
+  const int workers = static_cast<int>(args.get_int("--workers", 2));
+
+  csg::bench::print_header(
+      "bench_serve: batched multi-grid evaluation service",
+      "csg::serve front-end over Sec. 4.3 blocked evaluation");
+
+  serve::GridRegistry registry;
+  registry.add("a", make_grid(d, n));
+  registry.add("b", make_grid(d, n > 1 ? static_cast<level_t>(n - 1) : n));
+  const auto pts = workloads::uniform_points(d, requests, 23);
+
+  Report report("bench_serve", "batched multi-grid evaluation service",
+                "serving front-end (docs/SERVING.md)");
+  report.set_param("dims", static_cast<std::int64_t>(d));
+  report.set_param("level", static_cast<std::int64_t>(n));
+  report.set_param("requests", static_cast<std::int64_t>(requests));
+  report.set_param("batch", static_cast<std::int64_t>(batch));
+  report.set_param("queue", static_cast<std::int64_t>(queue));
+  report.set_param("producers", static_cast<std::int64_t>(producers));
+  report.set_param("workers", static_cast<std::int64_t>(workers));
+
+  // --- deterministic batching accounting -------------------------------
+  // Paused service, zero window: all R requests are queued before any
+  // worker runs, so batches form at full size and the counters are exact.
+  {
+    serve::ServiceOptions opts;
+    opts.queue_capacity = requests;
+    opts.max_batch_points = batch;
+    opts.batch_window = std::chrono::microseconds(0);
+    opts.workers = workers;
+    opts.start_paused = true;
+    serve::EvalService service(registry, opts);
+    std::vector<std::future<serve::EvalResult>> futs;
+    futs.reserve(requests);
+    for (std::size_t k = 0; k < requests; ++k)
+      futs.push_back(service.submit("a", pts[k]));
+    service.start();
+    for (auto& f : futs) (void)f.get();
+    service.stop();
+    const auto st = service.stats();
+    const auto expected = (requests + batch - 1) / batch;
+    std::printf("batching    %llu batches for %zu requests (expect %zu), "
+                "mean %.2f, max %llu\n",
+                static_cast<unsigned long long>(st.batches_formed), requests,
+                expected, st.mean_batch(),
+                static_cast<unsigned long long>(st.max_batch));
+    add_exact(report, "batching/batches_formed",
+              static_cast<double>(st.batches_formed), "batches");
+    add_exact(report, "batching/mean_batch", st.mean_batch(), "points");
+    add_exact(report, "batching/max_batch",
+              static_cast<double>(st.max_batch), "points");
+    add_exact(report, "batching/completed",
+              static_cast<double>(st.completed), "requests");
+  }
+
+  // --- deterministic rejection accounting ------------------------------
+  // Paused + kReject + small queue: exactly (submitted - capacity) shed.
+  {
+    serve::ServiceOptions opts;
+    opts.queue_capacity = queue;
+    opts.max_batch_points = batch;
+    opts.batch_window = std::chrono::microseconds(0);
+    opts.workers = workers;
+    opts.overflow = serve::OverflowPolicy::kReject;
+    opts.start_paused = true;
+    serve::EvalService service(registry, opts);
+    std::vector<std::future<serve::EvalResult>> futs;
+    futs.reserve(requests);
+    for (std::size_t k = 0; k < requests; ++k)
+      futs.push_back(service.submit("a", pts[k]));
+    service.start();
+    for (auto& f : futs) (void)f.get();
+    service.stop();
+    const auto st = service.stats();
+    std::printf("rejection   %llu shed of %zu offered at capacity %zu\n",
+                static_cast<unsigned long long>(st.rejected), requests, queue);
+    add_exact(report, "backpressure/rejected",
+              static_cast<double>(st.rejected), "requests");
+    add_exact(report, "backpressure/completed",
+              static_cast<double>(st.completed), "requests");
+  }
+
+  // --- deterministic deadline accounting -------------------------------
+  // Every request queued with an already-expired deadline: all time out at
+  // batch formation, none is evaluated.
+  {
+    serve::ServiceOptions opts;
+    opts.queue_capacity = requests;
+    opts.max_batch_points = batch;
+    opts.batch_window = std::chrono::microseconds(0);
+    opts.workers = workers;
+    opts.start_paused = true;
+    serve::EvalService service(registry, opts);
+    const auto past =
+        serve::EvalService::Clock::now() - std::chrono::seconds(1);
+    std::vector<std::future<serve::EvalResult>> futs;
+    futs.reserve(requests);
+    for (std::size_t k = 0; k < requests; ++k)
+      futs.push_back(service.submit("a", pts[k], past));
+    service.start();
+    for (auto& f : futs) (void)f.get();
+    service.stop();
+    const auto st = service.stats();
+    std::printf("deadlines   %llu timed out of %zu, %llu evaluated\n",
+                static_cast<unsigned long long>(st.timed_out), requests,
+                static_cast<unsigned long long>(st.batched_points));
+    add_exact(report, "deadline/timed_out",
+              static_cast<double>(st.timed_out), "requests");
+    add_exact(report, "deadline/evaluated_points",
+              static_cast<double>(st.batched_points), "points");
+  }
+
+  // --- live throughput (informational) ---------------------------------
+  // Closed loop: each producer waits for its future before the next
+  // submit, alternating between the two grids.
+  double secs = 0;
+  {
+    serve::ServiceOptions opts;
+    opts.queue_capacity = queue;
+    opts.max_batch_points = batch;
+    opts.workers = workers;
+    serve::EvalService service(registry, opts);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p)
+      threads.emplace_back([&, p] {
+        const std::size_t share = requests / static_cast<std::size_t>(
+                                                 producers);
+        for (std::size_t k = 0; k < share; ++k) {
+          const char* grid = ((k + static_cast<std::size_t>(p)) % 2) ? "b"
+                                                                     : "a";
+          (void)service.submit(grid, pts[k]).get();
+        }
+      });
+    for (std::thread& t : threads) t.join();
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count();
+    service.stop();
+    const auto st = service.stats();
+    std::printf("throughput  %.0f req/s closed-loop (%llu completed, "
+                "mean batch %.2f)\n",
+                static_cast<double>(st.completed) / secs,
+                static_cast<unsigned long long>(st.completed),
+                st.mean_batch());
+    report.add_time("serve/closed_loop", csg::bench::summarize({secs}), "s",
+                    1, Better::kNeutral);
+    report.add_counter("serve/req_per_s",
+                       static_cast<double>(st.completed) / secs, "req/s",
+                       Better::kNeutral);
+  }
+
+  csg::bench::finish_report(report, args);
+  return 0;
+}

@@ -57,6 +57,15 @@ std::vector<real_t> omp_evaluate_many_blocked(
     const CompactStorage& storage, std::span<const CoordVector> points,
     std::size_t block_size, int num_threads);
 
+/// Plan-held variant of the parallel blocked evaluation: callers that pin
+/// their plan (the serve::GridRegistry, anything holding a shared plan
+/// across batches) bypass the shared plan cache entirely, so a bounded
+/// cache evicting their shape cannot force a rebuild per batch.
+std::vector<real_t> omp_evaluate_many_blocked(
+    const EvaluationPlan& plan, std::span<const real_t> coeffs,
+    std::span<const CoordVector> points, std::size_t block_size,
+    int num_threads);
+
 /// Parallel recursive hierarchization over any storage: one task per pole,
 /// barrier between dimensions. Requires the storage to be fully populated
 /// (sampled) so that no set() changes container structure.

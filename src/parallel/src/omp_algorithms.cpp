@@ -183,11 +183,19 @@ std::vector<real_t> omp_evaluate_many(const CompactStorage& storage,
 std::vector<real_t> omp_evaluate_many_blocked(
     const CompactStorage& storage, std::span<const CoordVector> points,
     std::size_t block_size, int num_threads) {
-  CSG_EXPECTS(num_threads >= 1);
-  CSG_EXPECTS(block_size >= 1);
   const auto plan = EvaluationPlan::shared(storage.grid());
   const std::span<const real_t> coeffs(storage.data(),
                                        storage.values().size());
+  return omp_evaluate_many_blocked(*plan, coeffs, points, block_size,
+                                   num_threads);
+}
+
+std::vector<real_t> omp_evaluate_many_blocked(
+    const EvaluationPlan& plan, std::span<const real_t> coeffs,
+    std::span<const CoordVector> points, std::size_t block_size,
+    int num_threads) {
+  CSG_EXPECTS(num_threads >= 1);
+  CSG_EXPECTS(block_size >= 1);
   std::vector<real_t> out(points.size(), 0);
   const auto num_blocks = static_cast<std::int64_t>(
       (points.size() + block_size - 1) / block_size);
@@ -198,7 +206,7 @@ std::vector<real_t> omp_evaluate_many_blocked(
   for (std::int64_t b = 0; b < num_blocks; ++b) {
     const std::size_t b0 = static_cast<std::size_t>(b) * block_size;
     const std::size_t b1 = std::min(b0 + block_size, points.size());
-    evaluate_blocked_into(*plan, coeffs, points.subspan(b0, b1 - b0),
+    evaluate_blocked_into(plan, coeffs, points.subspan(b0, b1 - b0),
                           block_size, std::span<real_t>(out).subspan(b0, b1 - b0));
   }
   return out;

@@ -1,0 +1,194 @@
+// EvalService: asynchronous batched evaluation over a GridRegistry — the
+// serving layer's core loop.
+//
+// Point queries arrive one at a time (submit() returns a future); workers
+// coalesce queued queries *per grid* into batches and run each batch
+// through the plan-based blocked evaluation (Sec. 4.3 blocking,
+// parallel::omp_evaluate_many_blocked on the entry's pinned plan). The
+// lifecycle discipline a production server needs is explicit:
+//
+//  * bounded submission queue — at most queue_capacity requests wait;
+//    overflow either rejects immediately (kReject, load shedding) or
+//    blocks the producer (kBlock, backpressure),
+//  * batching window — a worker that finds fewer than max_batch_points
+//    queued for its grid waits up to batch_window for stragglers before
+//    evaluating, trading a bounded latency bump for larger batches,
+//  * per-request deadlines — a request whose deadline has passed when its
+//    batch forms completes with Status::kTimeout and is never evaluated;
+//    a blocked producer gives up with kTimeout when its deadline expires
+//    before queue space frees,
+//  * graceful shutdown — stop(drain=true) (and the destructor) lets
+//    workers drain every queued request through normal batches;
+//    stop(drain=false) fails pending requests with Status::kCancelled.
+//
+// Results are bit-identical to sequential evaluate(): batching only groups
+// points, and the blocked kernel sums subspaces in enumeration order per
+// point regardless of batch shape.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "csg/serve/grid_registry.hpp"
+
+namespace csg::serve {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kInvalid,    ///< malformed request (wrong dimension, coordinate not in [0,1])
+  kNotFound,   ///< no grid registered under the requested name
+  kRejected,   ///< bounded queue full under kReject, or service stopped
+  kTimeout,    ///< deadline expired before the request could be evaluated
+  kCancelled,  ///< dropped by stop(drain=false)
+};
+
+const char* to_string(Status s);
+
+struct EvalResult {
+  Status status = Status::kOk;
+  real_t value = 0;
+};
+
+/// What submit() does when the bounded queue is full.
+enum class OverflowPolicy : std::uint8_t {
+  kReject,  ///< fail fast with Status::kRejected (load shedding)
+  kBlock,   ///< block the producer until space frees (backpressure)
+};
+
+struct ServiceOptions {
+  /// Upper bound on queued (not yet batched) requests.
+  std::size_t queue_capacity = 1024;
+  /// A batch never holds more points than this.
+  std::size_t max_batch_points = 256;
+  /// How long a worker waits for a partial batch to fill. Zero: batches
+  /// are formed from whatever is queued at pop time.
+  std::chrono::microseconds batch_window{200};
+  /// Worker threads forming and running batches.
+  int workers = 2;
+  /// OpenMP threads inside one batch evaluation (omp_evaluate_many_blocked).
+  int eval_threads = 1;
+  /// Point block size of the Sec. 4.3 blocked kernel.
+  std::size_t block_size = 64;
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  /// Applied when submit() is called without an explicit deadline;
+  /// zero means "no deadline".
+  std::chrono::milliseconds default_deadline{0};
+  /// When true the constructor does not launch workers; requests queue up
+  /// (or reject once the queue fills) until start(). Deterministic batch
+  /// accounting for tests and benchmarks.
+  bool start_paused = false;
+};
+
+/// Cumulative service counters. Reads are individually atomic; a snapshot
+/// taken while requests are in flight may be mid-update across fields.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< evaluated and delivered kOk
+  std::uint64_t rejected = 0;    ///< queue-full rejections + post-stop submits
+  std::uint64_t timed_out = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t batches_formed = 0;  ///< batches with >= 1 evaluated point
+  std::uint64_t batched_points = 0;  ///< points evaluated through batches
+  std::uint64_t max_batch = 0;       ///< largest batch evaluated
+
+  double mean_batch() const {
+    return batches_formed == 0
+               ? 0.0
+               : static_cast<double>(batched_points) /
+                     static_cast<double>(batches_formed);
+  }
+};
+
+class EvalService {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// No deadline: the request waits as long as the queue does.
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  /// The registry must outlive the service. Workers launch immediately
+  /// unless opts.start_paused.
+  explicit EvalService(const GridRegistry& registry, ServiceOptions opts = {});
+
+  /// Drains gracefully (stop(true)).
+  ~EvalService();
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Queue one point query against grid `name`. Always returns a future
+  /// that will hold a result; failures (unknown grid, malformed point,
+  /// rejection, timeout) are delivered through Status, never exceptions.
+  std::future<EvalResult> submit(const std::string& name, CoordVector point);
+  std::future<EvalResult> submit(const std::string& name, CoordVector point,
+                                 Clock::time_point deadline);
+
+  /// Launch the workers (no-op when already running or after stop()).
+  void start();
+
+  /// Terminal: drain or cancel queued requests, join the workers. After
+  /// stop() every submit() is rejected. Idempotent.
+  void stop(bool drain = true);
+
+  bool running() const;
+
+  /// Requests queued and not yet claimed by a batch.
+  std::size_t pending() const;
+
+  ServiceStats stats() const;
+
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  struct Request {
+    std::shared_ptr<const GridEntry> entry;
+    CoordVector point;
+    Clock::time_point deadline = kNoDeadline;
+    std::promise<EvalResult> promise;
+  };
+
+  void worker_loop();
+  /// Must hold mutex_. Move queued requests for `entry` into `batch`, up
+  /// to max_batch_points total.
+  void collect_locked(const GridEntry* entry, std::vector<Request>& batch);
+  void run_batch(std::vector<Request> batch);
+
+  static std::future<EvalResult> immediate(Status status);
+
+  const GridRegistry& registry_;
+  const ServiceOptions opts_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;  // workers exit once the queue drains
+  bool stopped_ = false;   // terminal: submits reject, start() is a no-op
+  std::vector<std::thread> workers_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> timed_out{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> not_found{0};
+    std::atomic<std::uint64_t> invalid{0};
+    std::atomic<std::uint64_t> batches_formed{0};
+    std::atomic<std::uint64_t> batched_points{0};
+    std::atomic<std::uint64_t> max_batch{0};
+  };
+  Counters counters_;
+};
+
+}  // namespace csg::serve

@@ -1,0 +1,283 @@
+#include "csg/serve/service.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "csg/parallel/omp_algorithms.hpp"
+
+namespace csg::serve {
+
+namespace {
+
+/// Atomic max for the max_batch counter.
+void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t candidate) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !slot.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+bool valid_point(const GridEntry& entry, const CoordVector& point) {
+  if (point.size() != entry.storage.dim()) return false;
+  for (dim_t t = 0; t < point.size(); ++t)
+    if (!(point[t] >= 0 && point[t] <= 1)) return false;  // also rejects NaN
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kInvalid:
+      return "invalid";
+    case Status::kNotFound:
+      return "not_found";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kTimeout:
+      return "timeout";
+    case Status::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+EvalService::EvalService(const GridRegistry& registry, ServiceOptions opts)
+    : registry_(registry), opts_(opts) {
+  CSG_EXPECTS(opts_.queue_capacity >= 1);
+  CSG_EXPECTS(opts_.max_batch_points >= 1);
+  CSG_EXPECTS(opts_.workers >= 1);
+  CSG_EXPECTS(opts_.eval_threads >= 1);
+  CSG_EXPECTS(opts_.block_size >= 1);
+  if (!opts_.start_paused) start();
+}
+
+EvalService::~EvalService() { stop(true); }
+
+std::future<EvalResult> EvalService::immediate(Status status) {
+  std::promise<EvalResult> p;
+  p.set_value({status, 0});
+  return p.get_future();
+}
+
+std::future<EvalResult> EvalService::submit(const std::string& name,
+                                            CoordVector point) {
+  const auto deadline =
+      opts_.default_deadline.count() > 0
+          ? Clock::now() + opts_.default_deadline
+          : kNoDeadline;
+  return submit(name, std::move(point), deadline);
+}
+
+std::future<EvalResult> EvalService::submit(const std::string& name,
+                                            CoordVector point,
+                                            Clock::time_point deadline) {
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const GridEntry> entry = registry_.find(name);
+  if (entry == nullptr) {
+    counters_.not_found.fetch_add(1, std::memory_order_relaxed);
+    return immediate(Status::kNotFound);
+  }
+  if (!valid_point(*entry, point)) {
+    counters_.invalid.fetch_add(1, std::memory_order_relaxed);
+    return immediate(Status::kInvalid);
+  }
+
+  Request req;
+  req.entry = std::move(entry);
+  req.point = std::move(point);
+  req.deadline = deadline;
+  std::future<EvalResult> future = req.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopped_ || stopping_) {
+    lock.unlock();
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    req.promise.set_value({Status::kRejected, 0});
+    return future;
+  }
+  if (queue_.size() >= opts_.queue_capacity) {
+    if (opts_.overflow == OverflowPolicy::kReject) {
+      lock.unlock();
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value({Status::kRejected, 0});
+      return future;
+    }
+    // Backpressure: hold the producer until space frees, the service
+    // stops, or the request's own deadline expires while waiting.
+    const auto has_space = [&] {
+      return stopping_ || stopped_ || queue_.size() < opts_.queue_capacity;
+    };
+    if (req.deadline == kNoDeadline) {
+      not_full_.wait(lock, has_space);
+    } else if (!not_full_.wait_until(lock, req.deadline, has_space)) {
+      lock.unlock();
+      counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value({Status::kTimeout, 0});
+      return future;
+    }
+    if (stopping_ || stopped_) {
+      lock.unlock();
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value({Status::kRejected, 0});
+      return future;
+    }
+  }
+  queue_.push_back(std::move(req));
+  lock.unlock();
+  not_empty_.notify_one();
+  return future;
+}
+
+void EvalService::start() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopped_ || !workers_.empty()) return;
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int w = 0; w < opts_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void EvalService::stop(bool drain) {
+  std::vector<std::thread> workers;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    if (!drain) {
+      // Fail everything still queued; nothing new can arrive once
+      // stopping_ is visible.
+      for (Request& req : queue_) {
+        counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        req.promise.set_value({Status::kCancelled, 0});
+      }
+      queue_.clear();
+    }
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& t : workers) t.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  // A paused service that was never started drains here: without workers
+  // the queued requests would otherwise leak as broken promises.
+  for (Request& req : queue_) {
+    if (drain) {
+      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value({Status::kCancelled, 0});
+    }
+  }
+  queue_.clear();
+  stopping_ = false;
+  stopped_ = true;
+}
+
+bool EvalService::running() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return !workers_.empty() && !stopped_;
+}
+
+std::size_t EvalService::pending() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ServiceStats EvalService::stats() const {
+  ServiceStats s;
+  s.submitted = counters_.submitted.load(std::memory_order_relaxed);
+  s.completed = counters_.completed.load(std::memory_order_relaxed);
+  s.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  s.timed_out = counters_.timed_out.load(std::memory_order_relaxed);
+  s.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  s.not_found = counters_.not_found.load(std::memory_order_relaxed);
+  s.invalid = counters_.invalid.load(std::memory_order_relaxed);
+  s.batches_formed = counters_.batches_formed.load(std::memory_order_relaxed);
+  s.batched_points = counters_.batched_points.load(std::memory_order_relaxed);
+  s.max_batch = counters_.max_batch.load(std::memory_order_relaxed);
+  return s;
+}
+
+void EvalService::collect_locked(const GridEntry* entry,
+                                 std::vector<Request>& batch) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < opts_.max_batch_points;) {
+    if (it->entry.get() == entry) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EvalService::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and fully drained
+
+    // Seed the batch with the oldest request's grid, then sweep the queue
+    // for that grid's other requests.
+    const GridEntry* entry = queue_.front().entry.get();
+    std::vector<Request> batch;
+    batch.reserve(std::min(opts_.max_batch_points, queue_.size()));
+    collect_locked(entry, batch);
+
+    if (batch.size() < opts_.max_batch_points &&
+        opts_.batch_window.count() > 0 && !stopping_) {
+      // Partial batch: wait (bounded) for stragglers of the same grid.
+      const auto until = Clock::now() + opts_.batch_window;
+      while (batch.size() < opts_.max_batch_points && !stopping_) {
+        if (not_empty_.wait_until(lock, until) == std::cv_status::timeout) {
+          collect_locked(entry, batch);
+          break;
+        }
+        collect_locked(entry, batch);
+      }
+    }
+    lock.unlock();
+    // Space freed for blocked producers regardless of batch outcome.
+    not_full_.notify_all();
+    run_batch(std::move(batch));
+  }
+}
+
+void EvalService::run_batch(std::vector<Request> batch) {
+  const auto now = Clock::now();
+  // Deadlines are checked once, at batch formation: an expired request is
+  // completed as kTimeout and never pays for evaluation.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& req : batch) {
+    if (req.deadline < now) {
+      counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value({Status::kTimeout, 0});
+    } else {
+      live.push_back(std::move(req));
+    }
+  }
+  if (live.empty()) return;
+
+  const GridEntry& entry = *live.front().entry;
+  std::vector<CoordVector> points;
+  points.reserve(live.size());
+  for (const Request& req : live) points.push_back(req.point);
+
+  const std::span<const real_t> coeffs(entry.storage.data(),
+                                       entry.storage.values().size());
+  const std::vector<real_t> values = parallel::omp_evaluate_many_blocked(
+      *entry.plan, coeffs, points, opts_.block_size, opts_.eval_threads);
+
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    counters_.completed.fetch_add(1, std::memory_order_relaxed);
+    live[k].promise.set_value({Status::kOk, values[k]});
+  }
+  counters_.batches_formed.fetch_add(1, std::memory_order_relaxed);
+  counters_.batched_points.fetch_add(live.size(), std::memory_order_relaxed);
+  update_max(counters_.max_batch, live.size());
+}
+
+}  // namespace csg::serve

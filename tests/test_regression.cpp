@@ -7,6 +7,7 @@
 
 #include "csg/core/evaluate.hpp"
 #include "csg/core/hierarchize.hpp"
+#include "csg/testing/property.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
 
@@ -25,27 +26,34 @@ TEST(Regression, DesignOperatorMatchesEvaluate) {
 
 TEST(Regression, TransposedOperatorIsAdjoint) {
   // <B a, r> == <a, B^T r> for random a and r — the defining property.
-  const dim_t d = 3;
-  const level_t n = 4;
-  RegularSparseGrid grid(d, n);
-  std::mt19937_64 rng(5);
-  std::uniform_real_distribution<real_t> dist(-1, 1);
-  CompactStorage a(d, n);
-  for (flat_index_t j = 0; j < a.size(); ++j) a[j] = dist(rng);
-  const auto pts = workloads::uniform_points(d, 60, 8);
-  std::vector<real_t> r(pts.size());
-  for (real_t& v : r) v = dist(rng);
+  const auto res = csg::testing::run_property(
+      {"design_transpose_adjoint", 6}, [](std::mt19937_64& rng) -> std::string {
+        const dim_t d = 3;
+        const level_t n = 4;
+        RegularSparseGrid grid(d, n);
+        std::uniform_real_distribution<real_t> dist(-1, 1);
+        CompactStorage a(d, n);
+        for (flat_index_t j = 0; j < a.size(); ++j) a[j] = dist(rng);
+        const auto pts = workloads::uniform_points(d, 60, 8);
+        std::vector<real_t> r(pts.size());
+        for (real_t& v : r) v = dist(rng);
 
-  const auto ba = apply_design(a, pts);
-  double lhs = 0;
-  for (std::size_t m = 0; m < pts.size(); ++m) lhs += ba[m] * r[m];
+        const auto ba = apply_design(a, pts);
+        double lhs = 0;
+        for (std::size_t m = 0; m < pts.size(); ++m) lhs += ba[m] * r[m];
 
-  CompactStorage btr(d, n);
-  apply_design_transposed(grid, pts, r, btr);
-  double rhs = 0;
-  for (flat_index_t j = 0; j < a.size(); ++j) rhs += a[j] * btr[j];
+        CompactStorage btr(d, n);
+        apply_design_transposed(grid, pts, r, btr);
+        double rhs = 0;
+        for (flat_index_t j = 0; j < a.size(); ++j) rhs += a[j] * btr[j];
 
-  EXPECT_NEAR(lhs, rhs, 1e-10 * (std::abs(lhs) + 1));
+        const double tol = 1e-10 * (std::abs(lhs) + 1);
+        if (std::abs(lhs - rhs) > tol)
+          return "<Ba,r>=" + std::to_string(lhs) + " but <a,B^T r>=" +
+                 std::to_string(rhs) + " (tol " + std::to_string(tol) + ")";
+        return "";
+      });
+  EXPECT_TRUE(res.passed) << res.detail;
 }
 
 TEST(Regression, InterpolatesWhenDataComesFromTheGridItself) {
@@ -71,28 +79,39 @@ TEST(Regression, InterpolatesWhenDataComesFromTheGridItself) {
 }
 
 TEST(Regression, FitsNoisyDataBelowNoiseFloor) {
-  const dim_t d = 2;
-  const auto f = workloads::parabola_product(d);
-  std::mt19937_64 rng(11);
-  std::normal_distribution<real_t> noise(0, 0.02);
-  const auto pts = workloads::halton_points(d, 1500);
-  std::vector<real_t> vals(pts.size());
-  for (std::size_t m = 0; m < pts.size(); ++m)
-    vals[m] = f(pts[m]) + noise(rng);
+  // Each fit is expensive (1500 samples, level 5), so keep the iteration
+  // count low; the property still resamples the noise every run.
+  const auto res = csg::testing::run_property(
+      {"noisy_fit_below_noise_floor", 2},
+      [](std::mt19937_64& rng) -> std::string {
+        const dim_t d = 2;
+        const auto f = workloads::parabola_product(d);
+        std::normal_distribution<real_t> noise(0, 0.02);
+        const auto pts = workloads::halton_points(d, 1500);
+        std::vector<real_t> vals(pts.size());
+        for (std::size_t m = 0; m < pts.size(); ++m)
+          vals[m] = f(pts[m]) + noise(rng);
 
-  FitOptions opt;
-  opt.lambda = 1e-5;
-  FitReport report;
-  const CompactStorage fitted = fit(d, 5, pts, vals, opt, &report);
-  // Training error ~ noise variance (4e-4), not much lower (no gross
-  // overfit) and not much higher (the model fits the signal).
-  EXPECT_LT(report.training_mse, 3 * 0.02 * 0.02);
-  // True-function error well below the noise level: the fit denoises.
-  const auto test_pts = workloads::uniform_points(d, 400, 31);
-  double err = 0;
-  for (const CoordVector& x : test_pts)
-    err = std::max(err, std::abs(evaluate(fitted, x) - f(x)));
-  EXPECT_LT(err, 0.05);
+        FitOptions opt;
+        opt.lambda = 1e-5;
+        FitReport report;
+        const CompactStorage fitted = fit(d, 5, pts, vals, opt, &report);
+        // Training error ~ noise variance (4e-4), not much lower (no gross
+        // overfit) and not much higher (the model fits the signal).
+        if (report.training_mse >= 3 * 0.02 * 0.02)
+          return "training_mse " + std::to_string(report.training_mse) +
+                 " above 3x noise variance";
+        // True-function error well below the noise level: the fit denoises.
+        const auto test_pts = workloads::uniform_points(d, 400, 31);
+        double err = 0;
+        for (const CoordVector& x : test_pts)
+          err = std::max(err, std::abs(evaluate(fitted, x) - f(x)));
+        if (err >= 0.05)
+          return "max true-function error " + std::to_string(err) +
+                 " not below 0.05";
+        return "";
+      });
+  EXPECT_TRUE(res.passed) << res.detail;
 }
 
 TEST(Regression, StrongerRegularizationShrinksCoefficients) {

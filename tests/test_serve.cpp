@@ -1,0 +1,464 @@
+// csg::serve — multi-grid registry + asynchronous batched evaluation
+// service: correctness (results bit-identical to evaluate()), batching
+// accounting, backpressure (reject and block), deadlines, graceful
+// shutdown, and the bounded plan cache under a many-shape serving load.
+//
+// Registered under the `parallel` ctest label: the service is the
+// project's most concurrent component (producers, worker pool, OpenMP
+// inside batches), so the TSan lane must see it.
+#include "csg/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "csg/core/evaluate.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/serve/grid_registry.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace csg::serve {
+namespace {
+
+CompactStorage make_grid(dim_t d, level_t n) {
+  CompactStorage s(d, n);
+  s.sample(workloads::parabola_product(d).f);
+  hierarchize(s);
+  return s;
+}
+
+/// Restore the process-global plan cache to its default shape when a test
+/// that resizes or clears it exits (tests share one process).
+struct PlanCacheGuard {
+  ~PlanCacheGuard() {
+    EvaluationPlan::shared_cache_clear();
+    EvaluationPlan::shared_cache_set_capacity(
+        EvaluationPlan::kDefaultSharedCacheCap);
+  }
+};
+
+TEST(GridRegistry, AddFindRemove) {
+  GridRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.find("temperature"), nullptr);
+
+  reg.add("temperature", make_grid(3, 4));
+  reg.add("pressure", make_grid(2, 5));
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"pressure", "temperature"}));
+
+  const auto entry = reg.find("temperature");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->name, "temperature");
+  EXPECT_EQ(entry->storage.dim(), 3u);
+  ASSERT_NE(entry->plan, nullptr);
+  EXPECT_EQ(entry->plan->dim(), 3u);
+
+  EXPECT_TRUE(reg.remove("temperature"));
+  EXPECT_FALSE(reg.remove("temperature"));
+  EXPECT_EQ(reg.find("temperature"), nullptr);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(GridRegistry, ReplaceKeepsOldEntryAliveForHolders) {
+  GridRegistry reg;
+  const auto old_entry = reg.add("field", make_grid(2, 3));
+  reg.add("field", make_grid(2, 5));
+  const auto new_entry = reg.find("field");
+  ASSERT_NE(new_entry, nullptr);
+  EXPECT_NE(old_entry.get(), new_entry.get());
+  // The replaced entry still evaluates — in-flight batches are safe.
+  EXPECT_EQ(old_entry->storage.grid().level(), 3u);
+  EXPECT_EQ(evaluate(old_entry->storage, CoordVector{0.5, 0.5}),
+            evaluate(old_entry->storage, CoordVector{0.5, 0.5}));
+}
+
+TEST(GridRegistry, MemoryBytesTracksLiveEntriesOnly) {
+  GridRegistry reg;
+  EXPECT_EQ(reg.memory_bytes(), 0u);
+  const auto a = reg.add("a", make_grid(2, 4));
+  const auto a_bytes = a->memory_bytes();
+  EXPECT_EQ(a_bytes, a->storage.memory_bytes() + a->plan->memory_bytes());
+  EXPECT_EQ(reg.memory_bytes(), a_bytes);
+
+  const auto b = reg.add("b", make_grid(3, 3));
+  EXPECT_EQ(reg.memory_bytes(), a_bytes + b->memory_bytes());
+
+  // Removal drops the registry's figure immediately even though this test
+  // still holds the entry: reported bytes reflect live (registered) state.
+  reg.remove("b");
+  EXPECT_EQ(reg.memory_bytes(), a_bytes);
+  reg.remove("a");
+  EXPECT_EQ(reg.memory_bytes(), 0u);
+}
+
+TEST(EvalService, ResultsBitIdenticalToSequentialEvaluate) {
+  GridRegistry reg;
+  reg.add("f", make_grid(3, 5));
+  const auto entry = reg.find("f");
+
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.max_batch_points = 16;
+  opts.batch_window = std::chrono::microseconds(100);
+  EvalService service(reg, opts);
+
+  const auto pts = workloads::uniform_points(3, 200, 11);
+  std::vector<std::future<EvalResult>> futures;
+  futures.reserve(pts.size());
+  for (const CoordVector& x : pts) futures.push_back(service.submit("f", x));
+  for (std::size_t p = 0; p < pts.size(); ++p) {
+    const EvalResult r = futures[p].get();
+    ASSERT_EQ(r.status, Status::kOk) << p;
+    EXPECT_EQ(r.value, evaluate(entry->storage, pts[p])) << p;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, pts.size());
+  EXPECT_EQ(stats.batched_points, pts.size());
+  EXPECT_GE(stats.batches_formed, 1u);
+  EXPECT_LE(stats.max_batch, 16u);
+}
+
+TEST(EvalService, MultiGridBatchesStayPerGrid) {
+  GridRegistry reg;
+  reg.add("a", make_grid(2, 4));
+  reg.add("b", make_grid(3, 3));
+  const auto ea = reg.find("a");
+  const auto eb = reg.find("b");
+
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.max_batch_points = 8;
+  EvalService service(reg, opts);
+
+  const auto pa = workloads::uniform_points(2, 60, 3);
+  const auto pb = workloads::uniform_points(3, 60, 4);
+  std::vector<std::future<EvalResult>> fa, fb;
+  for (std::size_t k = 0; k < 60; ++k) {
+    fa.push_back(service.submit("a", pa[k]));
+    fb.push_back(service.submit("b", pb[k]));
+  }
+  for (std::size_t k = 0; k < 60; ++k) {
+    const EvalResult ra = fa[k].get(), rb = fb[k].get();
+    ASSERT_EQ(ra.status, Status::kOk);
+    ASSERT_EQ(rb.status, Status::kOk);
+    EXPECT_EQ(ra.value, evaluate(ea->storage, pa[k])) << k;
+    EXPECT_EQ(rb.value, evaluate(eb->storage, pb[k])) << k;
+  }
+}
+
+TEST(EvalService, UnknownGridAndMalformedPointsFailFast) {
+  GridRegistry reg;
+  reg.add("f", make_grid(2, 3));
+  EvalService service(reg, {});
+
+  EXPECT_EQ(service.submit("nope", CoordVector{0.5, 0.5}).get().status,
+            Status::kNotFound);
+  // Wrong dimension.
+  EXPECT_EQ(service.submit("f", CoordVector{0.5}).get().status,
+            Status::kInvalid);
+  // Out of the unit cube.
+  EXPECT_EQ(service.submit("f", CoordVector{0.5, 1.5}).get().status,
+            Status::kInvalid);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.not_found, 1u);
+  EXPECT_EQ(stats.invalid, 2u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(EvalService, PausedStartGivesDeterministicBatchAccounting) {
+  GridRegistry reg;
+  reg.add("f", make_grid(2, 4));
+
+  ServiceOptions opts;
+  opts.start_paused = true;
+  opts.workers = 2;
+  opts.queue_capacity = 1024;
+  opts.max_batch_points = 32;
+  opts.batch_window = std::chrono::microseconds(0);
+  EvalService service(reg, opts);
+
+  const auto pts = workloads::uniform_points(2, 100, 7);
+  std::vector<std::future<EvalResult>> futures;
+  for (const CoordVector& x : pts) futures.push_back(service.submit("f", x));
+  EXPECT_EQ(service.pending(), 100u);
+
+  service.start();
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kOk);
+
+  const ServiceStats stats = service.stats();
+  // ceil(100 / 32) = 4 batches: every batch takes min(32, queued) points
+  // under one lock hold, and nothing was submitted concurrently.
+  EXPECT_EQ(stats.batches_formed, 4u);
+  EXPECT_EQ(stats.batched_points, 100u);
+  EXPECT_EQ(stats.max_batch, 32u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch(), 25.0);
+}
+
+TEST(EvalService, RejectPolicyShedsLoadBeyondQueueCapacity) {
+  GridRegistry reg;
+  reg.add("f", make_grid(2, 3));
+
+  ServiceOptions opts;
+  opts.start_paused = true;
+  opts.queue_capacity = 16;
+  opts.overflow = OverflowPolicy::kReject;
+  EvalService service(reg, opts);
+
+  const auto pts = workloads::uniform_points(2, 20, 9);
+  std::vector<std::future<EvalResult>> futures;
+  for (const CoordVector& x : pts) futures.push_back(service.submit("f", x));
+
+  // Exactly the queue capacity was admitted; the rest were shed.
+  std::size_t rejected = 0;
+  service.start();
+  for (auto& f : futures) {
+    const EvalResult r = f.get();
+    if (r.status == Status::kRejected) ++rejected;
+    else EXPECT_EQ(r.status, Status::kOk);
+  }
+  EXPECT_EQ(rejected, 4u);
+  EXPECT_EQ(service.stats().rejected, 4u);
+  EXPECT_EQ(service.stats().completed, 16u);
+}
+
+TEST(EvalService, BlockPolicyAppliesBackpressureInsteadOfRejecting) {
+  GridRegistry reg;
+  reg.add("f", make_grid(2, 3));
+
+  ServiceOptions opts;
+  opts.start_paused = true;
+  opts.queue_capacity = 4;
+  opts.overflow = OverflowPolicy::kBlock;
+  opts.max_batch_points = 4;
+  opts.batch_window = std::chrono::microseconds(0);
+  EvalService service(reg, opts);
+
+  const auto pts = workloads::uniform_points(2, 12, 5);
+  std::vector<std::future<EvalResult>> futures(pts.size());
+  std::atomic<std::size_t> submitted{0};
+  std::thread producer([&] {
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      futures[k] = service.submit("f", pts[k]);
+      submitted.fetch_add(1);
+    }
+  });
+  // The producer must stall at the bounded queue until workers start.
+  while (submitted.load() < opts.queue_capacity) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(submitted.load(), opts.queue_capacity);
+
+  service.start();
+  producer.join();
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kOk);
+  EXPECT_EQ(service.stats().completed, pts.size());
+  EXPECT_EQ(service.stats().rejected, 0u);
+}
+
+TEST(EvalService, ExpiredDeadlinesTimeOutWithoutEvaluation) {
+  GridRegistry reg;
+  reg.add("f", make_grid(2, 3));
+
+  ServiceOptions opts;
+  opts.start_paused = true;
+  EvalService service(reg, opts);
+
+  const auto pts = workloads::uniform_points(2, 10, 13);
+  const auto past = EvalService::Clock::now() - std::chrono::milliseconds(1);
+  std::vector<std::future<EvalResult>> futures;
+  for (const CoordVector& x : pts)
+    futures.push_back(service.submit("f", x, past));
+
+  service.start();
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kTimeout);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 10u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.batches_formed, 0u);  // nothing was worth evaluating
+}
+
+TEST(EvalService, DefaultDeadlineAppliesToPlainSubmits) {
+  GridRegistry reg;
+  reg.add("f", make_grid(2, 3));
+
+  ServiceOptions opts;
+  opts.start_paused = true;
+  opts.default_deadline = std::chrono::milliseconds(1);
+  EvalService service(reg, opts);
+
+  auto f = service.submit("f", CoordVector{0.5, 0.5});
+  // Let the default deadline lapse while the service is paused.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  service.start();
+  EXPECT_EQ(f.get().status, Status::kTimeout);
+}
+
+TEST(EvalService, BlockedProducerHonorsItsDeadline) {
+  GridRegistry reg;
+  reg.add("f", make_grid(2, 3));
+
+  ServiceOptions opts;
+  opts.start_paused = true;
+  opts.queue_capacity = 1;
+  opts.overflow = OverflowPolicy::kBlock;
+  EvalService service(reg, opts);
+
+  auto first = service.submit("f", CoordVector{0.25, 0.25});
+  std::future<EvalResult> second;
+  std::thread producer([&] {
+    second = service.submit(
+        "f", CoordVector{0.75, 0.75},
+        EvalService::Clock::now() + std::chrono::milliseconds(30));
+  });
+  producer.join();  // returns once the wait-for-space deadline expires
+  EXPECT_EQ(second.get().status, Status::kTimeout);
+
+  // Never-started service: stop() fails the queued request explicitly
+  // rather than leaking a broken promise.
+  service.stop(true);
+  EXPECT_EQ(first.get().status, Status::kCancelled);
+}
+
+TEST(EvalService, GracefulStopDrainsQueuedRequests) {
+  GridRegistry reg;
+  reg.add("f", make_grid(3, 4));
+  const auto entry = reg.find("f");
+
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.max_batch_points = 8;
+  EvalService service(reg, opts);
+
+  const auto pts = workloads::uniform_points(3, 120, 23);
+  std::vector<std::future<EvalResult>> futures;
+  for (const CoordVector& x : pts) futures.push_back(service.submit("f", x));
+  service.stop(true);
+
+  for (std::size_t p = 0; p < pts.size(); ++p) {
+    const EvalResult r = futures[p].get();
+    ASSERT_EQ(r.status, Status::kOk) << p;
+    EXPECT_EQ(r.value, evaluate(entry->storage, pts[p])) << p;
+  }
+  EXPECT_FALSE(service.running());
+  // Terminal: post-stop submissions reject.
+  EXPECT_EQ(service.submit("f", pts[0]).get().status, Status::kRejected);
+}
+
+TEST(EvalService, HardStopCancelsQueuedRequests) {
+  GridRegistry reg;
+  reg.add("f", make_grid(2, 3));
+
+  ServiceOptions opts;
+  opts.start_paused = true;  // nothing consumes: all requests stay queued
+  EvalService service(reg, opts);
+
+  std::vector<std::future<EvalResult>> futures;
+  for (const CoordVector& x : workloads::uniform_points(2, 25, 29))
+    futures.push_back(service.submit("f", x));
+  service.stop(/*drain=*/false);
+
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kCancelled);
+  EXPECT_EQ(service.stats().cancelled, 25u);
+}
+
+// The acceptance stress: many (d, n) shapes served concurrently while the
+// process-global plan cache is capped far below the number of shapes. The
+// registry pins every served plan, so evaluation never rebuilds plans per
+// batch, and the cache must hold <= its cap throughout.
+TEST(ServeStress, ManyShapesUnderLoadKeepPlanCacheBounded) {
+  PlanCacheGuard guard;
+  EvaluationPlan::shared_cache_clear();
+  EvaluationPlan::shared_cache_set_capacity(4);
+
+  GridRegistry reg;
+  struct Shape {
+    std::string name;
+    dim_t d;
+    level_t n;
+  };
+  std::vector<Shape> shapes;
+  for (dim_t d = 1; d <= 4; ++d)
+    for (level_t n = 3; n <= 5; ++n)
+      shapes.push_back({"g" + std::to_string(d) + "_" + std::to_string(n), d, n});
+  for (const Shape& s : shapes) reg.add(s.name, make_grid(s.d, s.n));
+  ASSERT_EQ(reg.size(), shapes.size());
+  ASSERT_GT(shapes.size(), EvaluationPlan::shared_cache_stats().capacity);
+
+  ServiceOptions opts;
+  opts.workers = 3;
+  opts.eval_threads = 2;
+  opts.queue_capacity = 4096;
+  opts.max_batch_points = 24;
+  opts.batch_window = std::chrono::microseconds(50);
+  EvalService service(reg, opts);
+
+  constexpr std::size_t kPerProducer = 120;
+  std::vector<std::thread> producers;
+  std::atomic<std::size_t> mismatches{0};
+  for (unsigned p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t k = 0; k < kPerProducer; ++k) {
+        const Shape& s = shapes[(p * 31 + k) % shapes.size()];
+        const auto pts =
+            workloads::uniform_points(s.d, 1, 1000 * p + k);
+        auto future = service.submit(s.name, pts[0]);
+        const EvalResult r = future.get();
+        const auto entry = reg.find(s.name);
+        // Verify against the pinned plan directly — going through
+        // evaluate() would touch the shared cache and perturb the stats
+        // this test pins below.
+        const std::span<const real_t> coeffs(entry->storage.data(),
+                                             entry->storage.values().size());
+        if (r.status != Status::kOk ||
+            r.value != evaluate_span(*entry->plan, coeffs, pts[0]))
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  service.stop(true);
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(service.stats().completed, 4 * kPerProducer);
+
+  const auto cache = EvaluationPlan::shared_cache_stats();
+  EXPECT_LE(cache.size, cache.capacity);
+  EXPECT_EQ(cache.capacity, 4u);
+  // Every registered shape built its plan once; the overflow was evicted.
+  EXPECT_GE(cache.evictions, shapes.size() - cache.capacity);
+  // Pinned plans stayed alive regardless of eviction: no rebuild happened
+  // during serving, so misses stay at the registration count.
+  EXPECT_EQ(cache.misses, shapes.size());
+}
+
+// Concurrent first-touch of one fresh shape: all callers get the same
+// plan instance and the cache holds a single entry for the key (the
+// build-outside-lock race resolves to the first insert).
+TEST(ServeStress, ConcurrentSharedPlanFetchYieldsOneInstance) {
+  PlanCacheGuard guard;
+  EvaluationPlan::shared_cache_clear();
+
+  const RegularSparseGrid grid(6, 6);
+  constexpr unsigned kThreads = 8;
+  std::vector<std::shared_ptr<const EvaluationPlan>> plans(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&, t] { plans[t] = EvaluationPlan::shared(grid); });
+  for (std::thread& t : threads) t.join();
+
+  for (unsigned t = 1; t < kThreads; ++t)
+    EXPECT_EQ(plans[t].get(), plans[0].get());
+  const auto stats = EvaluationPlan::shared_cache_stats();
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.misses + stats.hits, kThreads);
+}
+
+}  // namespace
+}  // namespace csg::serve

@@ -4,8 +4,14 @@
 The schema is produced by csg::bench::Report (docs/BENCHMARKS.md). Usage:
 
     bench_compare.py BASELINE CURRENT [--fail-ratio R] [--require-all]
+    bench_compare.py CURRENT [--fail-ratio R] [--require-all]
     bench_compare.py --validate FILE...
     bench_compare.py --selftest
+
+With a single positional argument the baseline directory is taken from the
+``CSG_BENCH_BASELINE_DIR`` environment variable — CI lanes and local runs
+can repoint every comparison at a blessed artifact without editing each
+invocation. Two explicit positionals always win over the environment.
 
 Comparison model, per metric:
 
@@ -343,6 +349,31 @@ def run_selftest() -> int:
         write(cur_dir, cur)
         check("neutral metric change compares clean", run_compare(ns) == 0)
 
+        # CSG_BENCH_BASELINE_DIR supplies the baseline when only the
+        # current run is given; the comparison is the same as the explicit
+        # two-positional form, including counter gating.
+        write(cur_dir, _synthetic_record(time_value=1.0, counter_value=100.0))
+        saved_env = os.environ.get("CSG_BENCH_BASELINE_DIR")
+        os.environ["CSG_BENCH_BASELINE_DIR"] = base_dir
+        try:
+            check("env baseline override compares clean",
+                  main([cur_dir, "--fail-ratio", "2.0",
+                        "--require-all"]) == 0)
+            write(cur_dir,
+                  _synthetic_record(time_value=1.0, counter_value=100.2))
+            check("env baseline override catches counter drift",
+                  main([cur_dir, "--fail-ratio", "2.0",
+                        "--require-all"]) == 1)
+            # Two explicit positionals ignore the environment.
+            check("explicit positionals beat the env override",
+                  main([cur_dir, cur_dir, "--require-all"]) == 0)
+        finally:
+            if saved_env is None:
+                del os.environ["CSG_BENCH_BASELINE_DIR"]
+            else:
+                os.environ["CSG_BENCH_BASELINE_DIR"] = saved_env
+        write(cur_dir, _synthetic_record(time_value=1.0, counter_value=100.0))
+
         # A record that loses a metric is noted; with --require-all a
         # missing file fails.
         os.remove(os.path.join(cur_dir, "BENCH_bench_selftest.json"))
@@ -385,7 +416,12 @@ def main(argv: list[str]) -> int:
         return run_selftest()
     if args.validate:
         return run_validate(args.validate)
+    env_base = os.environ.get("CSG_BENCH_BASELINE_DIR", "")
+    if args.baseline and not args.current and env_base:
+        args.baseline, args.current = env_base, args.baseline
     if not args.baseline or not args.current:
+        print("bench_compare: need BASELINE CURRENT (or CURRENT with"
+              " CSG_BENCH_BASELINE_DIR set)", file=sys.stderr)
         parser.print_usage(sys.stderr)
         return 2
     return run_compare(args)

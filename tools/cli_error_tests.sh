@@ -78,6 +78,13 @@ expect 2 "usage:" selfcheck --nmax 0
 expect 2 "usage:" selfcheck --budget 0
 expect 2 "usage:" selfcheck --trials 0
 
+# --- serve-bench: option validation -----------------------------------------
+expect 2 "usage:" serve-bench --grids 0
+expect 2 "usage:" serve-bench --requests 0
+expect 2 "usage:" serve-bench --workers 0
+expect 2 "usage:" serve-bench --policy sometimes
+expect 2 "usage:" serve-bench --deadline-ms -5
+
 # --- runtime errors: missing / corrupt input exit 1, not 2 ------------------
 expect 1 "csgtool:" info /nonexistent/no.csg
 expect 1 "csgtool:" eval /nonexistent/no.csg 0.5 0.5 0.5

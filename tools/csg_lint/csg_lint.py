@@ -13,9 +13,10 @@ Rules (catalog and suppression policy in docs/STATIC_ANALYSIS.md):
   shift-width            integer-literal left operands of << must carry an
                          explicit 64-bit width (T{1} brace form or l/L
                          suffix) unless the shift count is a small constant
-  implicit-narrowing     in src/core and src/parallel, level_t/dim_t
-                         declarations must not be initialised from a wider
-                         index expression without an explicit static_cast
+  implicit-narrowing     in src/core, src/parallel, and src/serve,
+                         level_t/dim_t declarations must not be initialised
+                         from a wider index expression without an explicit
+                         static_cast
   raw-alloc              no raw new/delete/malloc/free outside src/memsim
                          (the memory-simulation layer owns allocation
                          instrumentation); placement new is exempt
@@ -243,8 +244,9 @@ class ShiftWidthRule(Rule):
 class ImplicitNarrowingRule(Rule):
     name = "implicit-narrowing"
     description = (
-        "level_t/dim_t declarations in src/core and src/parallel must not "
-        "be initialised from wider index expressions without a static_cast"
+        "level_t/dim_t declarations in src/core, src/parallel, and "
+        "src/serve must not be initialised from wider index expressions "
+        "without a static_cast"
     )
 
     DECL = re.compile(
@@ -261,7 +263,8 @@ class ImplicitNarrowingRule(Rule):
 
     def applies(self, relpath):
         p = relpath.replace(os.sep, "/")
-        return p.startswith("src/core/") or p.startswith("src/parallel/")
+        return (p.startswith("src/core/") or p.startswith("src/parallel/")
+                or p.startswith("src/serve/"))
 
     def run(self, src):
         findings = []

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +28,8 @@
 #include "csg/core.hpp"
 #include "csg/io/serialize.hpp"
 #include "csg/parallel/omp_algorithms.hpp"
+#include "csg/serve/grid_registry.hpp"
+#include "csg/serve/service.hpp"
 #include "csg/testing/bijection.hpp"
 #include "csg/testing/generators.hpp"
 #include "csg/workloads/functions.hpp"
@@ -51,6 +54,11 @@ int usage() {
                "  csgtool restrict F.csg --keep A,B[,...] --anchor V -o G.csg\n"
                "  csgtool selfcheck [--dmax D] [--nmax N] [--budget SEC]\n"
                "                    [--trials K] [--seed S]\n"
+               "  csgtool serve-bench [--dims D] [--level N] [--grids G]\n"
+               "                      [--requests R] [--producers P]\n"
+               "                      [--workers W] [--queue Q] [--batch B]\n"
+               "                      [--window-us U] [--policy reject|block]\n"
+               "                      [--deadline-ms M] [--seed S]\n"
                "functions: parabola_product gaussian_bump oscillatory\n"
                "           coarse_dlinear simulation_field\n");
   return 2;
@@ -403,6 +411,119 @@ int cmd_selfcheck(int argc, char** argv) {
   return out_of_time ? 3 : 0;
 }
 
+// Closed-loop load generator over an in-process EvalService: G grids of the
+// same shape, P producer threads each submitting its share of R requests and
+// waiting for every future before issuing the next (so the offered load is
+// bounded by P, like a pool of synchronous RPC clients). Reports end-to-end
+// latency percentiles, throughput, and the service's batching counters.
+int cmd_serve_bench(int argc, char** argv) {
+  const auto d = static_cast<dim_t>(std::atoi(flag_value(argc, argv, "--dims", "3")));
+  const auto n =
+      static_cast<level_t>(std::atoi(flag_value(argc, argv, "--level", "5")));
+  const int grids = std::atoi(flag_value(argc, argv, "--grids", "4"));
+  const long requests = std::atol(flag_value(argc, argv, "--requests", "2000"));
+  const int producers = std::atoi(flag_value(argc, argv, "--producers", "4"));
+  const auto seed = static_cast<std::uint32_t>(
+      std::atoi(flag_value(argc, argv, "--seed", "29")));
+  const std::string policy = flag_value(argc, argv, "--policy", "reject");
+
+  serve::ServiceOptions opts;
+  opts.workers = std::atoi(flag_value(argc, argv, "--workers", "2"));
+  opts.queue_capacity = static_cast<std::size_t>(
+      std::atoll(flag_value(argc, argv, "--queue", "1024")));
+  opts.max_batch_points = static_cast<std::size_t>(
+      std::atoll(flag_value(argc, argv, "--batch", "64")));
+  opts.batch_window = std::chrono::microseconds(
+      std::atoll(flag_value(argc, argv, "--window-us", "200")));
+  const long deadline_ms =
+      std::atol(flag_value(argc, argv, "--deadline-ms", "0"));
+  opts.default_deadline = std::chrono::milliseconds(deadline_ms);
+  if (policy == "reject")
+    opts.overflow = serve::OverflowPolicy::kReject;
+  else if (policy == "block")
+    opts.overflow = serve::OverflowPolicy::kBlock;
+  else
+    return usage();
+  if (d < 1 || d > kMaxDim || n < 1 || n > kMaxLevel || grids < 1 ||
+      requests < 1 || producers < 1 || opts.workers < 1 ||
+      opts.queue_capacity < 1 || opts.max_batch_points < 1 || deadline_ms < 0)
+    return usage();
+
+  serve::GridRegistry registry;
+  for (int g = 0; g < grids; ++g) {
+    CompactStorage s(d, n);
+    s.sample(workloads::simulation_field(d).f);
+    hierarchize(s);
+    registry.add("g" + std::to_string(g), std::move(s));
+  }
+  serve::EvalService service(registry, opts);
+  std::printf("serve-bench: %d grid(s) d=%u level=%u (%.1f KB registry), "
+              "%ld requests, %d producer(s), %d worker(s), queue %zu, "
+              "batch %zu, window %lld us, policy %s\n",
+              grids, d, n, static_cast<double>(registry.memory_bytes()) / 1e3,
+              requests, producers, opts.workers, opts.queue_capacity,
+              opts.max_batch_points,
+              static_cast<long long>(opts.batch_window.count()),
+              policy.c_str());
+
+  std::vector<std::vector<double>> lat_us(
+      static_cast<std::size_t>(producers));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p)
+    threads.emplace_back([&, p] {
+      const long share = requests / producers +
+                         (p < requests % producers ? 1 : 0);
+      const auto pts = workloads::uniform_points(
+          d, static_cast<std::size_t>(std::max(share, 1l)),
+          seed + static_cast<std::uint32_t>(p));
+      auto& lat = lat_us[static_cast<std::size_t>(p)];
+      lat.reserve(static_cast<std::size_t>(share));
+      for (long k = 0; k < share; ++k) {
+        const std::string grid =
+            "g" + std::to_string((p + k) % grids);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto fut = service.submit(grid, pts[static_cast<std::size_t>(k)]);
+        (void)fut.get();
+        lat.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.stop();
+
+  std::vector<double> all;
+  for (const auto& lat : lat_us) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  const auto pct = [&](double q) {
+    return all.empty()
+               ? 0.0
+               : all[std::min(all.size() - 1,
+                              static_cast<std::size_t>(
+                                  q * static_cast<double>(all.size())))];
+  };
+  const auto st = service.stats();
+  std::printf("  throughput %.0f req/s (%ld requests in %.3f s)\n",
+              static_cast<double>(requests) / secs, requests, secs);
+  std::printf("  latency    p50 %.0f us, p95 %.0f us, p99 %.0f us, "
+              "max %.0f us\n",
+              pct(0.50), pct(0.95), pct(0.99), all.empty() ? 0.0 : all.back());
+  std::printf("  batches    %llu formed, mean %.2f points, max %llu\n",
+              static_cast<unsigned long long>(st.batches_formed),
+              st.mean_batch(), static_cast<unsigned long long>(st.max_batch));
+  std::printf("  outcomes   %llu ok, %llu rejected, %llu timed out\n",
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.timed_out));
+  // Closed-loop producers never outrun the queue; anything other than R
+  // completions means the service misbehaved.
+  return st.completed == static_cast<std::uint64_t>(requests) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -423,6 +544,7 @@ int main(int argc, char** argv) {
     if (cmd == "restrict" && argc >= 3)
       return cmd_restrict(argv[2], argc - 3, argv + 3);
     if (cmd == "selfcheck") return cmd_selfcheck(argc - 2, argv + 2);
+    if (cmd == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "csgtool: %s\n", e.what());
     return 1;

@@ -3,7 +3,7 @@
 # BENCH_<name>.json per binary (docs/BENCHMARKS.md).
 #
 #   tools/run_benches.sh [--suite smoke|paper] [--bin-dir DIR]
-#                        [--out-dir DIR] [--only NAME] [--list]
+#                        [--out-dir DIR] [--only NAME] [--list] [--compare]
 #
 # Suites:
 #   smoke  reduced problem sizes, the whole suite in ~a minute — what the
@@ -11,7 +11,12 @@
 #   paper  the full experiment shapes of DESIGN.md §4 (fig8/paper_scale at
 #          the real Sec. 6 sizes) — the nightly archive run.
 #
-# Exit status is the number of failing binaries (0 = all green).
+# --compare diffs the fresh records against the pinned baselines with
+# tools/bench_compare.py; CSG_BENCH_BASELINE_DIR overrides the baseline
+# directory (default bench/baselines/<suite>).
+#
+# Exit status is the number of failing binaries (0 = all green); with
+# --compare a baseline mismatch also fails.
 set -u
 
 SUITE=smoke
@@ -19,6 +24,7 @@ BIN_DIR=build/bench
 OUT_DIR=bench-results
 ONLY=
 LIST=0
+COMPARE=0
 
 usage() {
   sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
@@ -32,6 +38,7 @@ while [ $# -gt 0 ]; do
     --out-dir) OUT_DIR=$2; shift 2 ;;
     --only)    ONLY=$2; shift 2 ;;
     --list)    LIST=1; shift ;;
+    --compare) COMPARE=1; shift ;;
     -h|--help) usage ;;
     *) echo "run_benches.sh: unknown argument '$1'" >&2; usage ;;
   esac
@@ -56,6 +63,7 @@ args_smoke_bench_ablation_sharedl="--level 4 --points 64"
 args_smoke_bench_ablation_blocking="--dims 4 --level 6 --points 512"
 args_smoke_bench_ablation_traversal="--level 4"
 args_smoke_bench_eval_plan="--dims 4 --level 7 --points 2000"
+args_smoke_bench_serve="--dims 3 --level 4 --requests 256 --batch 32 --queue 64 --producers 2 --workers 2"
 args_smoke_bench_ext_fermi="--level 4 --points 64"
 args_smoke_bench_ext_combination="--level 5 --points 100"
 args_smoke_bench_ext_adaptive="--dims 2"
@@ -74,6 +82,7 @@ args_paper_bench_ablation_sharedl=""
 args_paper_bench_ablation_blocking=""
 args_paper_bench_ablation_traversal=""
 args_paper_bench_eval_plan=""
+args_paper_bench_serve=""
 args_paper_bench_ext_fermi=""
 args_paper_bench_ext_combination=""
 args_paper_bench_ext_adaptive=""
@@ -85,8 +94,9 @@ args_paper_bench_gp2idx_micro=""
 BENCHES="bench_table1_access bench_fig8_memory bench_fig9_sequential \
 bench_fig10_speedup bench_fig11_scalability bench_ablation_binmat \
 bench_ablation_sharedl bench_ablation_blocking bench_ablation_traversal \
-bench_eval_plan bench_ext_fermi bench_ext_combination bench_ext_adaptive \
-bench_ext_slicing bench_ext_truncation bench_paper_scale bench_gp2idx_micro"
+bench_eval_plan bench_serve bench_ext_fermi bench_ext_combination \
+bench_ext_adaptive bench_ext_slicing bench_ext_truncation bench_paper_scale \
+bench_gp2idx_micro"
 
 if [ "$LIST" = 1 ]; then
   for b in $BENCHES; do
@@ -131,4 +141,13 @@ if [ -n "$ONLY" ] && [ $((ran + failures)) -eq 0 ]; then
 fi
 
 echo "run_benches.sh: suite=$SUITE ran=$ran failed=$failures -> $OUT_DIR"
+
+if [ "$COMPARE" = 1 ] && [ "$failures" -eq 0 ]; then
+  BASELINE_DIR=${CSG_BENCH_BASELINE_DIR:-bench/baselines/$SUITE}
+  echo "==> bench_compare $BASELINE_DIR $OUT_DIR"
+  if ! python3 "$(dirname "$0")/bench_compare.py" "$BASELINE_DIR" "$OUT_DIR" \
+      --fail-ratio 2.0 --require-all; then
+    failures=$((failures + 1))
+  fi
+fi
 exit "$failures"
