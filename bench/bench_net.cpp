@@ -1,0 +1,343 @@
+// Experiment E16 — network-layer benchmark: the csg::net wire protocol in
+// front of serve::EvalService, over the deterministic loopback transport.
+//
+// Mirrors bench_serve's split:
+//
+//  * deterministic wire accounting, gated at 1e-6 in tools/bench_compare.py:
+//    frame sizes of fixed messages (any drift is a wire-layout change —
+//    tests/net_fixtures pins the same bytes), end-to-end frame/point/byte
+//    counters of a fixed request schedule, admission-shedding counts for
+//    expired budgets, and the rejection ledger of a fixed corrupt-frame
+//    battery;
+//  * wall-clock request throughput/latency of the live loopback stack,
+//    recorded as neutral metrics (scheduler-dependent; informational only).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "csg/core/hierarchize.hpp"
+#include "csg/net/client.hpp"
+#include "csg/net/server.hpp"
+#include "csg/net/transport.hpp"
+#include "csg/serve/grid_registry.hpp"
+#include "csg/serve/service.hpp"
+#include "csg/workloads/functions.hpp"
+#include "csg/workloads/sampling.hpp"
+
+namespace {
+
+using namespace csg;
+using csg::bench::Args;
+using csg::bench::Better;
+using csg::bench::Report;
+
+CompactStorage make_grid(dim_t d, level_t n) {
+  CompactStorage s(d, n);
+  s.sample(workloads::simulation_field(d).f);
+  hierarchize(s);
+  return s;
+}
+
+/// Exact-equality gate, as in bench_serve: deterministic counters whose
+/// drift in either direction is a logic (or wire-layout) change.
+void add_exact(Report& report, const std::string& name, double value,
+               const std::string& unit) {
+  report.add_counter(name, value, unit, Better::kLess).tolerance = 1e-6;
+}
+
+/// Poll a server counter into its settled state (bounded, ~5 s).
+template <typename Pred>
+void settle(Pred pred) {
+  for (int k = 0; k < 500 && !pred(); ++k)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+/// Read one response frame (header + payload) off `stream`. Synchronizes
+/// the battery below: once the error frame is back, the server has counted
+/// the rejection, so closing the connection afterwards races nothing.
+bool read_back_frame(net::ByteStream& stream) {
+  std::vector<std::uint8_t> header(net::kFrameHeaderBytes);
+  if (!net::read_exact(stream, header.data(), header.size())) return false;
+  net::FrameHeader decoded;
+  if (net::decode_header(header, decoded, {}) != net::WireError::kNone)
+    return false;
+  std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(decoded.payload_bytes));
+  return payload.empty() ||
+         net::read_exact(stream, payload.data(), payload.size());
+}
+
+std::vector<std::uint8_t> raw_frame_header(std::uint8_t type,
+                                           std::uint64_t payload_bytes,
+                                           bool corrupt_magic) {
+  net::EvalRequest probe;
+  probe.grid = "x";
+  probe.points = {CoordVector{0.5}};
+  auto frame = net::encode_eval_request(probe);
+  frame.resize(net::kFrameHeaderBytes);
+  if (corrupt_magic) frame[0] ^= 0x20;
+  frame[net::kFrameHeaderBytes - 10] = type;
+  std::memcpy(frame.data() + net::kFrameHeaderBytes - 8, &payload_bytes,
+              sizeof(payload_bytes));
+  return frame;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto d = static_cast<dim_t>(args.get_int("--dims", 3));
+  const auto n = static_cast<level_t>(args.get_int("--level", 5));
+  const auto requests =
+      static_cast<std::size_t>(args.get_int("--requests", 512));
+  const auto points = static_cast<std::size_t>(args.get_int("--points", 8));
+  const int clients = static_cast<int>(args.get_int("--clients", 4));
+  const int workers = static_cast<int>(args.get_int("--workers", 2));
+
+  csg::bench::print_header(
+      "bench_net: wire protocol in front of the evaluation service",
+      "csg::net framed codec + loopback server (docs/SERVING.md)");
+
+  Report report("bench_net", "wire protocol serving stack",
+                "network front-end (docs/SERVING.md wire protocol)");
+  report.set_param("dims", static_cast<std::int64_t>(d));
+  report.set_param("level", static_cast<std::int64_t>(n));
+  report.set_param("requests", static_cast<std::int64_t>(requests));
+  report.set_param("points", static_cast<std::int64_t>(points));
+  report.set_param("clients", static_cast<std::int64_t>(clients));
+  report.set_param("workers", static_cast<std::int64_t>(workers));
+
+  // --- wire layout freeze ----------------------------------------------
+  // Frame sizes of fully specified messages. These are pure functions of
+  // the v1 layout: a changed byte count here is a protocol break (the
+  // golden fixtures in tests/net_fixtures pin the same bytes).
+  {
+    net::EvalRequest req;
+    req.id = 7;
+    req.grid = "temperature";
+    req.deadline_us = 2500;
+    req.points.assign(4, CoordVector(3, real_t{0.5}));
+    net::EvalResponse resp;
+    resp.id = 7;
+    resp.results.assign(4, {0, real_t{1.5}});
+    net::ListResponse list;
+    list.grids = {{"temperature", 3, 5, 351, 11232}};
+    net::ErrorFrame err;
+    err.id = 9;
+    err.code = static_cast<std::uint32_t>(net::WireError::kOversizedBatch);
+    err.message = "batch exceeds point limit";
+
+    const auto req_bytes = net::encode_eval_request(req).size();
+    const auto resp_bytes = net::encode_eval_response(resp).size();
+    const auto list_bytes = net::encode_list_response(list).size();
+    const auto stats_bytes = net::encode_stats_response({}).size();
+    const auto err_bytes = net::encode_error(err).size();
+    std::printf("codec       eval_req %zu B, eval_resp %zu B, list %zu B, "
+                "stats %zu B, error %zu B\n",
+                req_bytes, resp_bytes, list_bytes, stats_bytes, err_bytes);
+    add_exact(report, "codec/eval_request_bytes",
+              static_cast<double>(req_bytes), "bytes");
+    add_exact(report, "codec/eval_response_bytes",
+              static_cast<double>(resp_bytes), "bytes");
+    add_exact(report, "codec/list_response_bytes",
+              static_cast<double>(list_bytes), "bytes");
+    add_exact(report, "codec/stats_response_bytes",
+              static_cast<double>(stats_bytes), "bytes");
+    add_exact(report, "codec/error_bytes", static_cast<double>(err_bytes),
+              "bytes");
+  }
+
+  // --- deterministic end-to-end accounting ------------------------------
+  // One client, a fixed request schedule: every frame, point, and byte is
+  // a pure function of (dims, points, requests).
+  {
+    serve::GridRegistry registry;
+    registry.add("g0", make_grid(d, n));
+    serve::ServiceOptions sopts;
+    sopts.workers = workers;
+    serve::EvalService service(registry, sopts);
+    net::LoopbackListener listener;
+    net::NetServer server(listener, registry, service, {});
+    server.start();
+    {
+      net::NetClient client(listener.connect());
+      const auto pts = workloads::uniform_points(d, points, 23);
+      for (std::size_t r = 0; r < requests; ++r)
+        (void)client.evaluate_batch("g0", pts);
+    }
+    server.stop();
+    service.stop();
+    const net::NetServerStats ns = server.stats();
+    const serve::ServiceStats sv = service.stats();
+    std::printf("e2e         %llu frames in, %llu points evaluated, "
+                "%llu B in, %llu B out\n",
+                static_cast<unsigned long long>(ns.frames_decoded),
+                static_cast<unsigned long long>(ns.eval_points),
+                static_cast<unsigned long long>(ns.bytes_in),
+                static_cast<unsigned long long>(ns.bytes_out));
+    add_exact(report, "e2e/frames_decoded",
+              static_cast<double>(ns.frames_decoded), "frames");
+    add_exact(report, "e2e/eval_points",
+              static_cast<double>(ns.eval_points), "points");
+    add_exact(report, "e2e/frames_rejected",
+              static_cast<double>(ns.frames_rejected), "frames");
+    add_exact(report, "e2e/bytes_in", static_cast<double>(ns.bytes_in),
+              "bytes");
+    add_exact(report, "e2e/bytes_out", static_cast<double>(ns.bytes_out),
+              "bytes");
+    add_exact(report, "e2e/completed", static_cast<double>(sv.completed),
+              "requests");
+  }
+
+  // --- deterministic admission shedding over the wire -------------------
+  // Every request carries an already-expired budget: all points come back
+  // kTimeout, the service sheds each at admission, nothing is evaluated.
+  {
+    serve::GridRegistry registry;
+    registry.add("g0", make_grid(d, n));
+    serve::ServiceOptions sopts;
+    sopts.workers = workers;
+    serve::EvalService service(registry, sopts);
+    net::LoopbackListener listener;
+    net::NetServer server(listener, registry, service, {});
+    server.start();
+    const std::size_t expired = requests / 4;
+    {
+      net::NetClient client(listener.connect());
+      const auto pts = workloads::uniform_points(d, points, 29);
+      for (std::size_t r = 0; r < expired; ++r)
+        (void)client.evaluate_batch("g0", pts, /*deadline_us=*/-1);
+    }
+    server.stop();
+    service.stop();
+    const serve::ServiceStats sv = service.stats();
+    std::printf("shedding    %llu shed at admission of %zu offered, "
+                "%llu evaluated\n",
+                static_cast<unsigned long long>(sv.shed_at_admission),
+                expired * points,
+                static_cast<unsigned long long>(sv.batched_points));
+    add_exact(report, "shedding/shed_at_admission",
+              static_cast<double>(sv.shed_at_admission), "requests");
+    add_exact(report, "shedding/timed_out",
+              static_cast<double>(sv.timed_out), "requests");
+    add_exact(report, "shedding/evaluated_points",
+              static_cast<double>(sv.batched_points), "points");
+  }
+
+  // --- deterministic corrupt-frame rejection ----------------------------
+  // A fixed battery of malformed frames, ten per kind: bad magic, bad
+  // length, unknown type, garbage payload, truncated header. Every frame
+  // is rejected; all but the truncated ones draw an error frame.
+  {
+    serve::GridRegistry registry;
+    registry.add("g0", make_grid(d, n));
+    serve::EvalService service(registry, {});
+    net::LoopbackListener listener;
+    net::NetServer server(listener, registry, service, {});
+    server.start();
+    constexpr std::size_t kPerKind = 10;
+    for (std::size_t k = 0; k < kPerKind; ++k) {
+      {  // bad magic: header error, connection closes
+        auto s = listener.connect();
+        const auto f = raw_frame_header(1, 0, /*corrupt_magic=*/true);
+        (void)s->write_all(f.data(), f.size());
+        (void)read_back_frame(*s);
+      }
+      {  // oversized payload length
+        auto s = listener.connect();
+        const auto f = raw_frame_header(
+            1, net::NetServerOptions{}.limits.max_frame_bytes + 1, false);
+        (void)s->write_all(f.data(), f.size());
+        (void)read_back_frame(*s);
+      }
+      {  // unknown type byte (honest zero-length payload)
+        auto s = listener.connect();
+        const auto f = raw_frame_header(99, 0, false);
+        (void)s->write_all(f.data(), f.size());
+        (void)read_back_frame(*s);
+      }
+      {  // garbage eval payload: name length 0xFFFFFFFF is structural junk
+        auto s = listener.connect();
+        const auto head = raw_frame_header(1, 32, false);
+        const std::vector<std::uint8_t> junk(32, 0xFF);
+        (void)s->write_all(head.data(), head.size());
+        (void)s->write_all(junk.data(), junk.size());
+        (void)read_back_frame(*s);
+      }
+      {  // truncated header: half a header, then end-of-stream
+        auto s = listener.connect();
+        const auto f = raw_frame_header(1, 0, false);
+        (void)s->write_all(f.data(), net::kFrameHeaderBytes / 2);
+        s->shutdown();
+      }
+    }
+    settle([&] { return server.stats().frames_rejected >= 5 * kPerKind; });
+    server.stop();
+    service.stop();
+    const net::NetServerStats ns = server.stats();
+    std::printf("rejection   %llu corrupt frames rejected, %llu error "
+                "frames sent, %llu eval requests admitted\n",
+                static_cast<unsigned long long>(ns.frames_rejected),
+                static_cast<unsigned long long>(ns.error_frames_sent),
+                static_cast<unsigned long long>(ns.eval_requests));
+    add_exact(report, "rejection/frames_rejected",
+              static_cast<double>(ns.frames_rejected), "frames");
+    add_exact(report, "rejection/error_frames_sent",
+              static_cast<double>(ns.error_frames_sent), "frames");
+    add_exact(report, "rejection/eval_requests",
+              static_cast<double>(ns.eval_requests), "requests");
+  }
+
+  // --- live throughput (informational) ----------------------------------
+  // Closed loop over loopback: each client waits for its response before
+  // the next request.
+  double secs = 0;
+  {
+    serve::GridRegistry registry;
+    registry.add("g0", make_grid(d, n));
+    serve::ServiceOptions sopts;
+    sopts.workers = workers;
+    sopts.queue_capacity = 4096;
+    serve::EvalService service(registry, sopts);
+    net::LoopbackListener listener;
+    net::NetServer server(listener, registry, service, {});
+    server.start();
+    std::atomic<std::uint64_t> completed{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+      threads.emplace_back([&, c] {
+        net::NetClient client(listener.connect());
+        const auto pts = workloads::uniform_points(
+            d, points, 31 + static_cast<std::uint32_t>(c));
+        const std::size_t share =
+            requests / static_cast<std::size_t>(clients);
+        for (std::size_t r = 0; r < share; ++r) {
+          (void)client.evaluate_batch("g0", pts);
+          completed.fetch_add(1);
+        }
+      });
+    for (std::thread& t : threads) t.join();
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count();
+    server.stop();
+    service.stop();
+    std::printf("throughput  %.0f req/s closed-loop over loopback "
+                "(%llu requests)\n",
+                static_cast<double>(completed.load()) / secs,
+                static_cast<unsigned long long>(completed.load()));
+    report.add_time("net/closed_loop", csg::bench::summarize({secs}), "s", 1,
+                    Better::kNeutral);
+    report.add_counter("net/req_per_s",
+                       static_cast<double>(completed.load()) / secs, "req/s",
+                       Better::kNeutral);
+  }
+
+  csg::bench::finish_report(report, args);
+  return 0;
+}

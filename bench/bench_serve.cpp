@@ -141,8 +141,8 @@ int main(int argc, char** argv) {
   }
 
   // --- deterministic deadline accounting -------------------------------
-  // Every request queued with an already-expired deadline: all time out at
-  // batch formation, none is evaluated.
+  // Every request submitted with an already-expired deadline: all are shed
+  // at admission (deadline-aware early shedding), none is evaluated.
   {
     serve::ServiceOptions opts;
     opts.queue_capacity = requests;

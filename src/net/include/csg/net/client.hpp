@@ -1,0 +1,75 @@
+// NetClient: blocking request/response client for the csg::net protocol.
+//
+// One stream, one request in flight (matching the server's serial
+// per-connection discipline). Transport failures and protocol violations —
+// a response that is malformed, carries the wrong id, or answers with the
+// wrong message type — throw std::runtime_error, the same loud-rejection
+// contract the csg::io loaders follow. A server-sent error frame throws a
+// RemoteError carrying the wire code so callers can tell "the server
+// rejected this request" from "the connection is broken".
+//
+// Not thread-safe: callers serialize access or open one client per thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "csg/net/protocol.hpp"
+#include "csg/net/transport.hpp"
+
+namespace csg::net {
+
+/// The server answered with an error frame (request rejected, connection
+/// possibly still usable) rather than a response.
+class RemoteError : public std::runtime_error {
+ public:
+  RemoteError(WireError code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  WireError code() const { return code_; }
+
+ private:
+  WireError code_;
+};
+
+class NetClient {
+ public:
+  /// Takes ownership of a connected stream (loopback or TCP). The limits
+  /// bound what the client itself will *send and accept*; tests loosen them
+  /// to drive the server's rejection paths.
+  explicit NetClient(std::unique_ptr<ByteStream> stream,
+                     ProtocolLimits limits = {});
+
+  /// Convenience: blocking TCP connect to host:port.
+  static NetClient connect_tcp(const std::string& host, std::uint16_t port,
+                               ProtocolLimits limits = {});
+
+  /// Evaluate `points` against grid `name`. `deadline_us` is the relative
+  /// per-request budget (0 = none, negative = expired on arrival; see
+  /// protocol.hpp). Statuses come back per point.
+  EvalResponse evaluate_batch(const std::string& name,
+                              const std::vector<CoordVector>& points,
+                              std::int64_t deadline_us = 0);
+
+  ListResponse list_grids();
+
+  WireStats fetch_stats();
+
+  /// Close the connection; further calls throw.
+  void close();
+
+ private:
+  /// Write `frame`, read one frame back, expecting `want` (error frames
+  /// throw RemoteError). Returns the response payload.
+  std::vector<std::uint8_t> round_trip(const std::vector<std::uint8_t>& frame,
+                                       MsgType want);
+
+  std::unique_ptr<ByteStream> stream_;
+  ProtocolLimits limits_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace csg::net

@@ -1,0 +1,135 @@
+// NetServer: the network front of serve::EvalService.
+//
+// One thread accepts connections from a Listener (TCP or loopback); each
+// connection gets a handler thread running a strictly serial loop: read one
+// frame, decode, dispatch, write the response, repeat. Serial handling *is*
+// the per-connection backpressure — a client never has more than one
+// request outstanding per connection, and a slow client stalls only its own
+// connection (the transport's bounded buffers push back on the writer).
+//
+// Malformed input never crashes the server; it is classified by the codec:
+//
+//  * header-level corruption (bad magic / endianness / real width / version
+//    / reserved byte / oversized length) — the stream position can no
+//    longer be trusted, so the server sends a best-effort error frame and
+//    closes the connection;
+//  * payload-level corruption (unknown type, structural decode failure,
+//    oversized batch) — the length-prefixed framing is still intact, so the
+//    server answers with an error frame and keeps the connection;
+//  * a stream that ends mid-frame counts as truncated and closes.
+//
+// Deadlines propagate: an eval request's relative budget becomes an
+// absolute serve::EvalService deadline at decode time, so expired work is
+// shed by the service (at admission or at batch formation), never silently
+// computed. stop() drains: accepting stops, every in-flight request
+// completes and its response is written, then connections close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "csg/net/protocol.hpp"
+#include "csg/net/transport.hpp"
+#include "csg/serve/grid_registry.hpp"
+#include "csg/serve/service.hpp"
+
+namespace csg::net {
+
+struct NetServerOptions {
+  ProtocolLimits limits;
+  /// Connections beyond this are accepted, sent an error frame, and closed.
+  std::size_t max_connections = 64;
+};
+
+/// Cumulative network-layer counters (the service keeps its own). Reads are
+/// individually atomic, like serve::ServiceStats.
+struct NetServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  ///< over max_connections
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_decoded = 0;   ///< well-formed request frames
+  std::uint64_t frames_rejected = 0;  ///< malformed or over-limit frames
+  std::uint64_t eval_requests = 0;
+  std::uint64_t eval_points = 0;
+  std::uint64_t list_requests = 0;
+  std::uint64_t stats_requests = 0;
+  std::uint64_t error_frames_sent = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t active_connections = 0;  ///< gauge, not cumulative
+};
+
+class NetServer {
+ public:
+  /// Listener, registry and service must outlive the server. Call start()
+  /// to begin accepting.
+  NetServer(Listener& listener, const serve::GridRegistry& registry,
+            serve::EvalService& service, NetServerOptions opts = {});
+
+  /// Drains (stop()).
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  void start();
+
+  /// Drain shutdown: stop accepting, let every fully received request
+  /// finish and flush its response, close all connections, join. The
+  /// EvalService itself is left running (the caller owns its lifecycle).
+  /// Idempotent.
+  void stop();
+
+  NetServerStats stats() const;
+
+ private:
+  struct Connection {
+    std::shared_ptr<ByteStream> stream;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void connection_loop(ByteStream& stream);
+  /// Handle one already-read frame; false closes the connection.
+  bool handle_frame(ByteStream& stream, const FrameHeader& header,
+                    std::span<const std::uint8_t> payload);
+  bool send(ByteStream& stream, const std::vector<std::uint8_t>& frame);
+  bool send_error(ByteStream& stream, std::uint64_t id, WireError code);
+  /// Join finished connection threads (amortized in the accept loop).
+  void reap_locked();
+
+  Listener& listener_;
+  const serve::GridRegistry& registry_;
+  serve::EvalService& service_;
+  const NetServerOptions opts_;
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread accept_thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<bool> stopping_{false};
+
+  struct Counters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_rejected{0};
+    std::atomic<std::uint64_t> connections_closed{0};
+    std::atomic<std::uint64_t> frames_decoded{0};
+    std::atomic<std::uint64_t> frames_rejected{0};
+    std::atomic<std::uint64_t> eval_requests{0};
+    std::atomic<std::uint64_t> eval_points{0};
+    std::atomic<std::uint64_t> list_requests{0};
+    std::atomic<std::uint64_t> stats_requests{0};
+    std::atomic<std::uint64_t> error_frames_sent{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> active_connections{0};
+  };
+  Counters counters_;
+};
+
+}  // namespace csg::net

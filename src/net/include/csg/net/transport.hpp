@@ -1,0 +1,140 @@
+// Transport abstraction for csg::net: a blocking byte stream plus a
+// listener that produces them.
+//
+// Two implementations ship:
+//
+//  * Loopback — an in-process bounded pipe pair. Deterministic (no kernel
+//    buffers, no ports, no timing dependence on the network stack), so the
+//    whole protocol surface — including corrupt-frame rejection and drain
+//    shutdown — is testable byte-for-byte in unit tests and sanitizer
+//    lanes. The bounded buffer also reproduces transport backpressure: a
+//    writer blocks when the peer stops reading.
+//
+//  * TCP — 127.0.0.1 sockets for the real csgtool net-serve / net-bench
+//    path. accept() multiplexes over a self-pipe so close() reliably
+//    unblocks it; per-connection reads unblock via shutdown(2).
+//
+// Streams are used by at most one reader and one writer thread at a time
+// (the server's connection loop is strictly serial); shutdown() may be
+// called from any thread and wakes both sides.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace csg::net {
+
+/// Blocking byte stream. read_some returns 0 on end-of-stream (peer closed
+/// or shutdown()); write_all returns false once the peer is gone.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  ByteStream() = default;
+  ByteStream(const ByteStream&) = delete;
+  ByteStream& operator=(const ByteStream&) = delete;
+
+  virtual std::size_t read_some(void* buf, std::size_t n) = 0;
+  virtual bool write_all(const void* buf, std::size_t n) = 0;
+  /// Terminate both directions; blocked reads return 0, blocked writes
+  /// fail. Idempotent, callable from any thread.
+  virtual void shutdown() = 0;
+};
+
+/// Read exactly n bytes; false on a clean or mid-read end-of-stream.
+bool read_exact(ByteStream& stream, void* buf, std::size_t n);
+
+/// Accept source for NetServer.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  Listener() = default;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Block until a connection arrives; nullptr once close() was called.
+  virtual std::unique_ptr<ByteStream> accept() = 0;
+  /// Unblock and permanently stop accept(). Idempotent, any thread.
+  virtual void close() = 0;
+};
+
+// --------------------------------------------------------------------------
+// Loopback
+// --------------------------------------------------------------------------
+
+namespace detail {
+/// One direction of a loopback connection: a bounded byte queue.
+struct LoopbackPipe {
+  std::mutex mutex;
+  std::condition_variable readable;
+  std::condition_variable writable;
+  std::deque<std::uint8_t> data;
+  std::size_t capacity;
+  bool closed = false;  ///< no more bytes will ever arrive or be accepted
+
+  explicit LoopbackPipe(std::size_t cap) : capacity(cap) {}
+};
+}  // namespace detail
+
+/// A connected pair of in-process streams. `capacity` bounds each
+/// direction's buffer, giving transport backpressure.
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+loopback_pair(std::size_t capacity = std::size_t{1} << 16);
+
+/// In-process listener: connect() hands back the client end and queues the
+/// server end for accept().
+class LoopbackListener : public Listener {
+ public:
+  explicit LoopbackListener(std::size_t capacity = std::size_t{1} << 16)
+      : capacity_(capacity) {}
+
+  /// Create a connection; nullptr once the listener is closed.
+  std::unique_ptr<ByteStream> connect();
+
+  std::unique_ptr<ByteStream> accept() override;
+  void close() override;
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<std::unique_ptr<ByteStream>> pending_;
+  bool closed_ = false;
+};
+
+// --------------------------------------------------------------------------
+// TCP (127.0.0.1)
+// --------------------------------------------------------------------------
+
+/// Listening socket on 127.0.0.1:port; port 0 picks an ephemeral port
+/// (readable via port()). Throws std::runtime_error when the bind fails —
+/// the port-conflict path csgtool net-serve surfaces as exit code 1.
+class TcpListener : public Listener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener() override;
+
+  std::uint16_t port() const { return port_; }
+
+  std::unique_ptr<ByteStream> accept() override;
+  void close() override;
+
+ private:
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: close() wakes the poll
+  std::uint16_t port_ = 0;
+  std::mutex mutex_;
+  bool closed_ = false;
+};
+
+/// Blocking connect to 127.0.0.1:port (or `host`, dotted-quad only).
+/// Throws std::runtime_error on failure.
+std::unique_ptr<ByteStream> tcp_connect(const std::string& host,
+                                        std::uint16_t port);
+
+}  // namespace csg::net

@@ -1,0 +1,298 @@
+#include "csg/net/server.hpp"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+namespace csg::net {
+
+namespace {
+
+/// Header errors poison the stream position; payload errors do not.
+bool closes_connection(WireError e) {
+  switch (e) {
+    case WireError::kBadMagic:
+    case WireError::kBadEndianness:
+    case WireError::kBadRealWidth:
+    case WireError::kBadVersion:
+    case WireError::kBadReserved:
+    case WireError::kOversizedFrame:
+    case WireError::kTruncated:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+NetServer::NetServer(Listener& listener, const serve::GridRegistry& registry,
+                     serve::EvalService& service, NetServerOptions opts)
+    : listener_(listener),
+      registry_(registry),
+      service_(service),
+      opts_(opts) {}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void NetServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Wake every connection blocked in a read; handlers finish the request
+  // they are processing (and flush its response) before exiting.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns.swap(connections_);
+  }
+  for (const auto& c : conns) c->stream->shutdown();
+  for (const auto& c : conns)
+    if (c->thread.joinable()) c->thread.join();
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats s;
+  s.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      counters_.connections_rejected.load(std::memory_order_relaxed);
+  s.connections_closed =
+      counters_.connections_closed.load(std::memory_order_relaxed);
+  s.frames_decoded = counters_.frames_decoded.load(std::memory_order_relaxed);
+  s.frames_rejected =
+      counters_.frames_rejected.load(std::memory_order_relaxed);
+  s.eval_requests = counters_.eval_requests.load(std::memory_order_relaxed);
+  s.eval_points = counters_.eval_points.load(std::memory_order_relaxed);
+  s.list_requests = counters_.list_requests.load(std::memory_order_relaxed);
+  s.stats_requests = counters_.stats_requests.load(std::memory_order_relaxed);
+  s.error_frames_sent =
+      counters_.error_frames_sent.load(std::memory_order_relaxed);
+  s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  s.active_connections =
+      counters_.active_connections.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NetServer::reap_locked() {
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& c) {
+    if (!c->done.load(std::memory_order_acquire)) return false;
+    if (c->thread.joinable()) c->thread.join();
+    return true;
+  });
+}
+
+void NetServer::accept_loop() {
+  for (;;) {
+    std::unique_ptr<ByteStream> stream = listener_.accept();
+    if (stream == nullptr) return;  // listener closed: shutting down
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    reap_locked();
+    if (stopping_.load(std::memory_order_acquire) ||
+        connections_.size() >= opts_.max_connections) {
+      counters_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      send_error(*stream, 0, WireError::kNone);  // "go away" with code 0
+      continue;  // stream destructor closes it
+    }
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>();
+    conn->stream = std::shared_ptr<ByteStream>(std::move(stream));
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] {
+      connection_loop(*raw->stream);
+      // Close eagerly: the peer must see end-of-stream now, not when the
+      // connection record is reaped or the server stops.
+      raw->stream->shutdown();
+      counters_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+      counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      raw->done.store(true, std::memory_order_release);
+    });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void NetServer::connection_loop(ByteStream& stream) {
+  std::vector<std::uint8_t> header_buf(kFrameHeaderBytes);
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    // Clean end-of-stream between frames is a normal close; anything that
+    // ends inside a frame is a truncation and counts as rejected.
+    const std::size_t first = stream.read_some(header_buf.data(), 1);
+    if (first == 0) return;
+    if (!read_exact(stream, header_buf.data() + 1, kFrameHeaderBytes - 1)) {
+      counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    counters_.bytes_in.fetch_add(kFrameHeaderBytes, std::memory_order_relaxed);
+
+    FrameHeader header;
+    const WireError head_err = decode_header(header_buf, header, opts_.limits);
+    if (head_err == WireError::kBadType) {
+      // The length field is trustworthy, so the framing survives an unknown
+      // type byte: discard the payload, reject loudly, keep the connection.
+      payload.resize(static_cast<std::size_t>(header.payload_bytes));
+      if (header.payload_bytes > 0 &&
+          !read_exact(stream, payload.data(), payload.size())) {
+        counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      counters_.bytes_in.fetch_add(header.payload_bytes,
+                                   std::memory_order_relaxed);
+      counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+      if (!send_error(stream, 0, head_err)) return;
+      continue;
+    }
+    if (head_err != WireError::kNone) {
+      counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+      send_error(stream, 0, head_err);
+      return;  // other header errors poison the stream position
+    }
+
+    payload.resize(static_cast<std::size_t>(header.payload_bytes));
+    if (header.payload_bytes > 0 &&
+        !read_exact(stream, payload.data(), payload.size())) {
+      counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    counters_.bytes_in.fetch_add(header.payload_bytes,
+                                 std::memory_order_relaxed);
+
+    if (!handle_frame(stream, header, payload)) return;
+    if (stopping_.load(std::memory_order_acquire)) return;  // drained
+  }
+}
+
+bool NetServer::handle_frame(ByteStream& stream, const FrameHeader& header,
+                             std::span<const std::uint8_t> payload) {
+  switch (header.type) {
+    case MsgType::kEvalRequest: {
+      EvalRequest req;
+      const WireError err = decode_eval_request(payload, req, opts_.limits);
+      if (err != WireError::kNone) {
+        counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+        if (!send_error(stream, req.id, err)) return false;
+        return !closes_connection(err);
+      }
+      counters_.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+      counters_.eval_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.eval_points.fetch_add(req.points.size(),
+                                      std::memory_order_relaxed);
+
+      // Deadline propagation: the relative wire budget becomes an absolute
+      // service deadline now, at decode time. A non-positive budget is
+      // already expired and exercises admission shedding deterministically.
+      auto deadline = serve::EvalService::kNoDeadline;
+      if (req.deadline_us != 0)
+        deadline = serve::EvalService::Clock::now() +
+                   std::chrono::microseconds(req.deadline_us);
+
+      std::vector<std::future<serve::EvalResult>> futures;
+      futures.reserve(req.points.size());
+      for (CoordVector& p : req.points)
+        futures.push_back(service_.submit(req.grid, std::move(p), deadline));
+
+      EvalResponse resp;
+      resp.id = req.id;
+      resp.results.reserve(futures.size());
+      for (auto& f : futures) {
+        const serve::EvalResult r = f.get();
+        resp.results.push_back(
+            {static_cast<std::uint8_t>(r.status), r.value});
+      }
+      return send(stream, encode_eval_response(resp));
+    }
+
+    case MsgType::kListRequest: {
+      if (!payload.empty()) {
+        counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+        return send_error(stream, 0, WireError::kBadPayload);
+      }
+      counters_.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+      counters_.list_requests.fetch_add(1, std::memory_order_relaxed);
+      ListResponse resp;
+      for (const std::string& name : registry_.names()) {
+        const auto entry = registry_.find(name);
+        if (entry == nullptr) continue;  // removed between names() and find()
+        GridInfo info;
+        info.name = name;
+        info.dim = entry->storage.dim();
+        info.level = entry->storage.grid().level();
+        info.points = entry->storage.size();
+        info.memory_bytes = entry->memory_bytes();
+        resp.grids.push_back(std::move(info));
+      }
+      return send(stream, encode_list_response(resp));
+    }
+
+    case MsgType::kStatsRequest: {
+      if (!payload.empty()) {
+        counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+        return send_error(stream, 0, WireError::kBadPayload);
+      }
+      counters_.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+      counters_.stats_requests.fetch_add(1, std::memory_order_relaxed);
+      const serve::ServiceStats sv = service_.stats();
+      const NetServerStats ns = stats();
+      WireStats out;
+      out.submitted = sv.submitted;
+      out.completed = sv.completed;
+      out.rejected = sv.rejected;
+      out.timed_out = sv.timed_out;
+      out.cancelled = sv.cancelled;
+      out.not_found = sv.not_found;
+      out.invalid = sv.invalid;
+      out.shed_at_admission = sv.shed_at_admission;
+      out.batches_formed = sv.batches_formed;
+      out.batched_points = sv.batched_points;
+      out.max_batch = sv.max_batch;
+      out.connections_accepted = ns.connections_accepted;
+      out.frames_decoded = ns.frames_decoded;
+      out.frames_rejected = ns.frames_rejected;
+      out.eval_requests = ns.eval_requests;
+      out.eval_points = ns.eval_points;
+      return send(stream, encode_stats_response(out));
+    }
+
+    default:
+      // Well-formed header carrying a message only a client should send
+      // (responses, errors): framing is intact, reject and continue.
+      counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
+      return send_error(stream, 0, WireError::kBadType);
+  }
+}
+
+bool NetServer::send(ByteStream& stream,
+                     const std::vector<std::uint8_t>& frame) {
+  if (!stream.write_all(frame.data(), frame.size())) return false;
+  counters_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool NetServer::send_error(ByteStream& stream, std::uint64_t id,
+                           WireError code) {
+  ErrorFrame err;
+  err.id = id;
+  err.code = static_cast<std::uint32_t>(code);
+  err.message = to_string(code);
+  const bool sent = send(stream, encode_error(err));
+  if (sent)
+    counters_.error_frames_sent.fetch_add(1, std::memory_order_relaxed);
+  return sent;
+}
+
+}  // namespace csg::net

@@ -1,0 +1,280 @@
+#include "csg/net/transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace csg::net {
+
+bool read_exact(ByteStream& stream, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = stream.read_some(p + got, n - got);
+    if (r == 0) return false;
+    got += r;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Loopback
+// --------------------------------------------------------------------------
+
+namespace {
+
+using detail::LoopbackPipe;
+
+class LoopbackStream : public ByteStream {
+ public:
+  LoopbackStream(std::shared_ptr<LoopbackPipe> in,
+                 std::shared_ptr<LoopbackPipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~LoopbackStream() override { shutdown(); }
+
+  std::size_t read_some(void* buf, std::size_t n) override {
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    in_->readable.wait(lock, [&] { return !in_->data.empty() || in_->closed; });
+    if (in_->data.empty()) return 0;  // closed and drained
+    const std::size_t take = std::min(n, in_->data.size());
+    auto* p = static_cast<std::uint8_t*>(buf);
+    for (std::size_t k = 0; k < take; ++k) {
+      p[k] = in_->data.front();
+      in_->data.pop_front();
+    }
+    lock.unlock();
+    in_->writable.notify_one();
+    return take;
+  }
+
+  bool write_all(const void* buf, std::size_t n) override {
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    std::size_t sent = 0;
+    while (sent < n) {
+      std::unique_lock<std::mutex> lock(out_->mutex);
+      out_->writable.wait(lock, [&] {
+        return out_->data.size() < out_->capacity || out_->closed;
+      });
+      if (out_->closed) return false;
+      const std::size_t room = out_->capacity - out_->data.size();
+      const std::size_t put = std::min(room, n - sent);
+      out_->data.insert(out_->data.end(), p + sent, p + sent + put);
+      sent += put;
+      lock.unlock();
+      out_->readable.notify_one();
+    }
+    return true;
+  }
+
+  void shutdown() override {
+    for (const auto& pipe : {in_, out_}) {
+      {
+        std::lock_guard<std::mutex> lock(pipe->mutex);
+        pipe->closed = true;
+      }
+      pipe->readable.notify_all();
+      pipe->writable.notify_all();
+    }
+  }
+
+ private:
+  std::shared_ptr<LoopbackPipe> in_;
+  std::shared_ptr<LoopbackPipe> out_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<ByteStream>, std::unique_ptr<ByteStream>>
+loopback_pair(std::size_t capacity) {
+  auto a_to_b = std::make_shared<LoopbackPipe>(capacity);
+  auto b_to_a = std::make_shared<LoopbackPipe>(capacity);
+  return {std::make_unique<LoopbackStream>(b_to_a, a_to_b),
+          std::make_unique<LoopbackStream>(a_to_b, b_to_a)};
+}
+
+std::unique_ptr<ByteStream> LoopbackListener::connect() {
+  auto [client, server] = loopback_pair(capacity_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return nullptr;  // both ends die with their pipes
+    pending_.push_back(std::move(server));
+  }
+  pending_cv_.notify_one();
+  return std::move(client);
+}
+
+std::unique_ptr<ByteStream> LoopbackListener::accept() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  pending_cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  if (pending_.empty()) return nullptr;
+  auto stream = std::move(pending_.front());
+  pending_.pop_front();
+  return stream;
+}
+
+void LoopbackListener::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  pending_cv_.notify_all();
+}
+
+// --------------------------------------------------------------------------
+// TCP
+// --------------------------------------------------------------------------
+
+namespace {
+
+class TcpStream : public ByteStream {
+ public:
+  explicit TcpStream(int fd) : fd_(fd) {}
+
+  ~TcpStream() override {
+    shutdown();
+    ::close(fd_);
+  }
+
+  std::size_t read_some(void* buf, std::size_t n) override {
+    for (;;) {
+      const ssize_t r = ::recv(fd_, buf, n, 0);
+      if (r > 0) return static_cast<std::size_t>(r);
+      if (r == 0) return 0;
+      if (errno == EINTR) continue;
+      return 0;  // connection error == end of stream for the caller
+    }
+  }
+
+  bool write_all(const void* buf, std::size_t n) override {
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+      if (r > 0) {
+        sent += static_cast<std::size_t>(r);
+        continue;
+      }
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void shutdown() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+};
+
+sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("csg::net: invalid address '" + host + "'");
+  return addr;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("csg::net: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr("127.0.0.1", port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("csg::net: cannot listen on 127.0.0.1:" +
+                             std::to_string(port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0)
+    port_ = ntohs(bound.sin_port);
+  if (::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("csg::net: pipe() failed");
+  }
+}
+
+TcpListener::~TcpListener() {
+  close();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (const int fd : wake_fds_)
+    if (fd >= 0) ::close(fd);
+}
+
+std::unique_ptr<ByteStream> TcpListener::accept() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return nullptr;
+    }
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return nullptr;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return nullptr;  // close() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return nullptr;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::make_unique<TcpStream>(fd);
+  }
+}
+
+void TcpListener::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  const char byte = 1;
+  (void)!::write(wake_fds_[1], &byte, 1);
+}
+
+std::unique_ptr<ByteStream> tcp_connect(const std::string& host,
+                                        std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error("csg::net: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  sockaddr_in addr = loopback_addr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("csg::net: cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<TcpStream>(fd);
+}
+
+}  // namespace csg::net

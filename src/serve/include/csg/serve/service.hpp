@@ -13,10 +13,12 @@
 //  * batching window — a worker that finds fewer than max_batch_points
 //    queued for its grid waits up to batch_window for stragglers before
 //    evaluating, trading a bounded latency bump for larger batches,
-//  * per-request deadlines — a request whose deadline has passed when its
-//    batch forms completes with Status::kTimeout and is never evaluated;
-//    a blocked producer gives up with kTimeout when its deadline expires
-//    before queue space frees,
+//  * per-request deadlines — a request whose deadline has already expired
+//    when submit() runs is shed at admission (kTimeout, never queued,
+//    counted in ServiceStats::shed_at_admission); one whose deadline passes
+//    while queued completes with Status::kTimeout when its batch forms and
+//    is never evaluated; a blocked producer gives up with kTimeout when its
+//    deadline expires before queue space frees,
 //  * graceful shutdown — stop(drain=true) (and the destructor) lets
 //    workers drain every queued request through normal batches;
 //    stop(drain=false) fails pending requests with Status::kCancelled.
@@ -95,6 +97,10 @@ struct ServiceStats {
   std::uint64_t completed = 0;   ///< evaluated and delivered kOk
   std::uint64_t rejected = 0;    ///< queue-full rejections + post-stop submits
   std::uint64_t timed_out = 0;
+  /// Subset of timed_out: requests whose deadline had already expired when
+  /// submit() ran, rejected before ever entering the queue (admission
+  /// control: dead work is shed at the door, not carried to a batch).
+  std::uint64_t shed_at_admission = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t not_found = 0;
   std::uint64_t invalid = 0;
@@ -181,6 +187,7 @@ class EvalService {
     std::atomic<std::uint64_t> completed{0};
     std::atomic<std::uint64_t> rejected{0};
     std::atomic<std::uint64_t> timed_out{0};
+    std::atomic<std::uint64_t> shed_at_admission{0};
     std::atomic<std::uint64_t> cancelled{0};
     std::atomic<std::uint64_t> not_found{0};
     std::atomic<std::uint64_t> invalid{0};

@@ -86,6 +86,15 @@ std::future<EvalResult> EvalService::submit(const std::string& name,
     counters_.invalid.fetch_add(1, std::memory_order_relaxed);
     return immediate(Status::kInvalid);
   }
+  // Admission control: a request that is already past its deadline can only
+  // ever complete as kTimeout, so shed it here instead of letting it occupy
+  // queue capacity until a batch forms. shed_at_admission is a subset of
+  // timed_out — the total deadline-failure count is unchanged.
+  if (deadline != kNoDeadline && deadline <= Clock::now()) {
+    counters_.shed_at_admission.fetch_add(1, std::memory_order_relaxed);
+    counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
+    return immediate(Status::kTimeout);
+  }
 
   Request req;
   req.entry = std::move(entry);
@@ -191,6 +200,8 @@ ServiceStats EvalService::stats() const {
   s.completed = counters_.completed.load(std::memory_order_relaxed);
   s.rejected = counters_.rejected.load(std::memory_order_relaxed);
   s.timed_out = counters_.timed_out.load(std::memory_order_relaxed);
+  s.shed_at_admission =
+      counters_.shed_at_admission.load(std::memory_order_relaxed);
   s.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
   s.not_found = counters_.not_found.load(std::memory_order_relaxed);
   s.invalid = counters_.invalid.load(std::memory_order_relaxed);

@@ -283,6 +283,41 @@ TEST(EvalService, ExpiredDeadlinesTimeOutWithoutEvaluation) {
   EXPECT_EQ(stats.batches_formed, 0u);  // nothing was worth evaluating
 }
 
+TEST(EvalService, AdmissionSheddingRejectsExpiredDeadlinesBeforeQueueing) {
+  GridRegistry reg;
+  reg.add("f", make_grid(2, 3));
+
+  ServiceOptions opts;
+  opts.start_paused = true;  // queue depth is observable: nothing consumes
+  EvalService service(reg, opts);
+
+  const auto pts = workloads::uniform_points(2, 12, 17);
+  const auto past = EvalService::Clock::now() - std::chrono::milliseconds(1);
+  const auto future_ok =
+      EvalService::Clock::now() + std::chrono::minutes(10);
+  std::vector<std::future<EvalResult>> shed, queued;
+  for (std::size_t k = 0; k < 7; ++k)
+    shed.push_back(service.submit("f", pts[k], past));
+  for (std::size_t k = 7; k < 12; ++k)
+    queued.push_back(service.submit("f", pts[k], future_ok));
+
+  // Shed requests resolved immediately (service still paused) and never
+  // occupied queue capacity; live-deadline ones are waiting for workers.
+  for (auto& f : shed) EXPECT_EQ(f.get().status, Status::kTimeout);
+  EXPECT_EQ(service.pending(), 5u);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed_at_admission, 7u);
+  EXPECT_EQ(stats.timed_out, 7u);  // shedding counts in the deadline total
+
+  service.start();
+  for (auto& f : queued) EXPECT_EQ(f.get().status, Status::kOk);
+  stats = service.stats();
+  EXPECT_EQ(stats.shed_at_admission, 7u);  // unchanged by live requests
+  EXPECT_EQ(stats.timed_out, 7u);
+  EXPECT_EQ(stats.completed, 5u);
+}
+
 TEST(EvalService, DefaultDeadlineAppliesToPlainSubmits) {
   GridRegistry reg;
   reg.add("f", make_grid(2, 3));

@@ -85,6 +85,44 @@ expect 2 "usage:" serve-bench --workers 0
 expect 2 "usage:" serve-bench --policy sometimes
 expect 2 "usage:" serve-bench --deadline-ms -5
 
+# --- net-serve / net-bench: option validation --------------------------------
+expect 2 "usage:" net-serve --port 70000
+expect 2 "usage:" net-serve --port -1
+expect 2 "usage:" net-serve --grids 0
+expect 2 "usage:" net-serve --workers 0
+expect 2 "usage:" net-serve --max-conns 0
+expect 2 "usage:" net-serve --max-points 0
+expect 2 "usage:" net-serve --idle-exit-ms -1
+expect 2 "usage:" net-bench --transport carrier-pigeon
+expect 2 "usage:" net-bench --requests 0
+expect 2 "usage:" net-bench --clients 0
+expect 2 "usage:" net-bench --points 0
+expect 2 "usage:" net-bench --deadline-ms -5
+expect 2 "usage:" net-bench --port 70000
+
+# --- net-serve: binding an already-bound port is a runtime error (exit 1) ----
+# First server picks an ephemeral port (printed on its banner); the second
+# bind on the same port must fail cleanly while the first is still up.
+"$CSGTOOL" net-serve --port 0 --dims 2 --level 3 --grids 1 \
+    --idle-exit-ms 2000 >"$WORK/srv.out" 2>&1 &
+SRV_PID=$!
+PORT=""
+for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "$WORK/srv.out")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$PORT" ]; then
+    echo "FAIL: net-serve never printed its port" >&2
+    FAILURES=$((FAILURES + 1))
+else
+    expect 1 "csgtool:" net-serve --port "$PORT" --dims 2 --level 3 \
+        --grids 1 --idle-exit-ms 100
+fi
+kill "$SRV_PID" 2>/dev/null
+wait "$SRV_PID" 2>/dev/null
+
 # --- runtime errors: missing / corrupt input exit 1, not 2 ------------------
 expect 1 "csgtool:" info /nonexistent/no.csg
 expect 1 "csgtool:" eval /nonexistent/no.csg 0.5 0.5 0.5

@@ -244,8 +244,8 @@ class ShiftWidthRule(Rule):
 class ImplicitNarrowingRule(Rule):
     name = "implicit-narrowing"
     description = (
-        "level_t/dim_t declarations in src/core, src/parallel, and "
-        "src/serve must not be initialised from wider index expressions "
+        "level_t/dim_t declarations in src/core, src/parallel, src/serve, "
+        "and src/net must not be initialised from wider index expressions "
         "without a static_cast"
     )
 
@@ -264,7 +264,7 @@ class ImplicitNarrowingRule(Rule):
     def applies(self, relpath):
         p = relpath.replace(os.sep, "/")
         return (p.startswith("src/core/") or p.startswith("src/parallel/")
-                or p.startswith("src/serve/"))
+                or p.startswith("src/serve/") or p.startswith("src/net/"))
 
     def run(self, src):
         findings = []

@@ -14,6 +14,7 @@
 // `slice` decompresses an axis-aligned 2d slice to a PGM image or an
 // ASCII preview — the visualization front-end's per-frame request.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -21,12 +22,16 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "csg/core.hpp"
 #include "csg/io/serialize.hpp"
+#include "csg/net/client.hpp"
+#include "csg/net/server.hpp"
+#include "csg/net/transport.hpp"
 #include "csg/parallel/omp_algorithms.hpp"
 #include "csg/serve/grid_registry.hpp"
 #include "csg/serve/service.hpp"
@@ -59,6 +64,16 @@ int usage() {
                "                      [--workers W] [--queue Q] [--batch B]\n"
                "                      [--window-us U] [--policy reject|block]\n"
                "                      [--deadline-ms M] [--seed S]\n"
+               "  csgtool net-serve [--port P] [--dims D] [--level N]\n"
+               "                    [--grids G] [--workers W] [--queue Q]\n"
+               "                    [--batch B] [--window-us U]\n"
+               "                    [--max-conns C] [--max-points K]\n"
+               "                    [--idle-exit-ms I]\n"
+               "  csgtool net-bench [--transport loopback|tcp] [--port P]\n"
+               "                    [--dims D] [--level N] [--grids G]\n"
+               "                    [--requests R] [--clients C] [--points K]\n"
+               "                    [--workers W] [--queue Q] [--batch B]\n"
+               "                    [--deadline-ms M] [--seed S]\n"
                "functions: parabola_product gaussian_bump oscillatory\n"
                "           coarse_dlinear simulation_field\n");
   return 2;
@@ -524,6 +539,253 @@ int cmd_serve_bench(int argc, char** argv) {
   return st.completed == static_cast<std::uint64_t>(requests) ? 0 : 1;
 }
 
+/// Shared grid setup of the network commands: G hierarchized grids named
+/// g0..g{G-1}, all of the same (d, n) shape.
+void register_grids(serve::GridRegistry& registry, int grids, dim_t d,
+                    level_t n) {
+  for (int g = 0; g < grids; ++g) {
+    CompactStorage s(d, n);
+    s.sample(workloads::simulation_field(d).f);
+    hierarchize(s);
+    registry.add("g" + std::to_string(g), std::move(s));
+  }
+}
+
+// TCP server over the wire protocol (docs/SERVING.md "Wire protocol"):
+// binds 127.0.0.1:--port (0 = ephemeral, printed), serves G grids until
+// the connection traffic has been idle for --idle-exit-ms (0 = forever).
+// A bind conflict is a runtime error (exit 1), not a usage error.
+int cmd_net_serve(int argc, char** argv) {
+  const auto d = static_cast<dim_t>(std::atoi(flag_value(argc, argv, "--dims", "3")));
+  const auto n =
+      static_cast<level_t>(std::atoi(flag_value(argc, argv, "--level", "5")));
+  const int grids = std::atoi(flag_value(argc, argv, "--grids", "2"));
+  const long port = std::atol(flag_value(argc, argv, "--port", "0"));
+  const int max_conns = std::atoi(flag_value(argc, argv, "--max-conns", "64"));
+  const long max_points =
+      std::atol(flag_value(argc, argv, "--max-points", "4096"));
+  const long idle_exit_ms =
+      std::atol(flag_value(argc, argv, "--idle-exit-ms", "0"));
+
+  serve::ServiceOptions opts;
+  opts.workers = std::atoi(flag_value(argc, argv, "--workers", "2"));
+  opts.queue_capacity = static_cast<std::size_t>(
+      std::atoll(flag_value(argc, argv, "--queue", "1024")));
+  opts.max_batch_points = static_cast<std::size_t>(
+      std::atoll(flag_value(argc, argv, "--batch", "64")));
+  opts.batch_window = std::chrono::microseconds(
+      std::atoll(flag_value(argc, argv, "--window-us", "200")));
+  if (d < 1 || d > kMaxDim || n < 1 || n > kMaxLevel || grids < 1 ||
+      port < 0 || port > 65535 || max_conns < 1 || max_points < 1 ||
+      idle_exit_ms < 0 || opts.workers < 1 || opts.queue_capacity < 1 ||
+      opts.max_batch_points < 1)
+    return usage();
+
+  serve::GridRegistry registry;
+  register_grids(registry, grids, d, n);
+  serve::EvalService service(registry, opts);
+
+  net::TcpListener listener(static_cast<std::uint16_t>(port));
+  net::NetServerOptions nopts;
+  nopts.max_connections = static_cast<std::size_t>(max_conns);
+  nopts.limits.max_batch_points = static_cast<std::uint64_t>(max_points);
+  net::NetServer server(listener, registry, service, nopts);
+  server.start();
+  std::printf("net-serve: listening on 127.0.0.1:%u (%d grid(s) d=%u "
+              "level=%u, %.1f KB registry, %d worker(s))\n",
+              listener.port(), grids, d, n,
+              static_cast<double>(registry.memory_bytes()) / 1e3,
+              opts.workers);
+  std::fflush(stdout);  // the port line must reach pipes before we block
+
+  // Lifetime: exit after --idle-exit-ms of no connections and no traffic
+  // (0 = serve until killed). Activity is watched through the same stats
+  // counters a dashboard would poll.
+  std::uint64_t last_marker = 0;
+  auto last_activity = std::chrono::steady_clock::now();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const auto st = server.stats();
+    const std::uint64_t marker =
+        st.bytes_in + st.connections_accepted + st.active_connections;
+    const auto now = std::chrono::steady_clock::now();
+    if (marker != last_marker || st.active_connections > 0) {
+      last_marker = marker;
+      last_activity = now;
+      continue;
+    }
+    if (idle_exit_ms > 0 &&
+        now - last_activity >= std::chrono::milliseconds(idle_exit_ms))
+      break;
+  }
+  server.stop();
+  service.stop();
+  const auto st = server.stats();
+  std::printf("net-serve: idle for %ld ms, drained. %llu connection(s), "
+              "%llu frame(s) decoded, %llu rejected, %llu eval point(s)\n",
+              idle_exit_ms,
+              static_cast<unsigned long long>(st.connections_accepted),
+              static_cast<unsigned long long>(st.frames_decoded),
+              static_cast<unsigned long long>(st.frames_rejected),
+              static_cast<unsigned long long>(st.eval_points));
+  return 0;
+}
+
+// Closed-loop load generator over the wire protocol. Self-contained: runs
+// the server in-process (loopback transport by default, real TCP on an
+// ephemeral port with --transport tcp), C client connections each issuing
+// its share of R batched requests of K points, then fetches the grid list
+// and stats over the wire. Exits non-zero unless every point completed.
+int cmd_net_bench(int argc, char** argv) {
+  const std::string transport =
+      flag_value(argc, argv, "--transport", "loopback");
+  const auto d = static_cast<dim_t>(std::atoi(flag_value(argc, argv, "--dims", "3")));
+  const auto n =
+      static_cast<level_t>(std::atoi(flag_value(argc, argv, "--level", "5")));
+  const int grids = std::atoi(flag_value(argc, argv, "--grids", "2"));
+  const long requests = std::atol(flag_value(argc, argv, "--requests", "1000"));
+  const int clients = std::atoi(flag_value(argc, argv, "--clients", "4"));
+  const long points = std::atol(flag_value(argc, argv, "--points", "8"));
+  const long port = std::atol(flag_value(argc, argv, "--port", "0"));
+  const long deadline_ms =
+      std::atol(flag_value(argc, argv, "--deadline-ms", "0"));
+  const auto seed = static_cast<std::uint32_t>(
+      std::atoi(flag_value(argc, argv, "--seed", "37")));
+
+  serve::ServiceOptions opts;
+  opts.workers = std::atoi(flag_value(argc, argv, "--workers", "2"));
+  opts.queue_capacity = static_cast<std::size_t>(
+      std::atoll(flag_value(argc, argv, "--queue", "4096")));
+  opts.max_batch_points = static_cast<std::size_t>(
+      std::atoll(flag_value(argc, argv, "--batch", "64")));
+  if ((transport != "loopback" && transport != "tcp") || d < 1 ||
+      d > kMaxDim || n < 1 || n > kMaxLevel || grids < 1 || requests < 1 ||
+      clients < 1 || points < 1 || port < 0 || port > 65535 ||
+      deadline_ms < 0 || opts.workers < 1 || opts.queue_capacity < 1 ||
+      opts.max_batch_points < 1)
+    return usage();
+
+  serve::GridRegistry registry;
+  register_grids(registry, grids, d, n);
+  serve::EvalService service(registry, opts);
+
+  net::LoopbackListener loopback;
+  std::unique_ptr<net::TcpListener> tcp;
+  net::Listener* listener = &loopback;
+  if (transport == "tcp") {
+    tcp = std::make_unique<net::TcpListener>(static_cast<std::uint16_t>(port));
+    listener = tcp.get();
+  }
+  net::NetServer server(*listener, registry, service, {});
+  server.start();
+  std::printf("net-bench: %s transport, %d grid(s) d=%u level=%u, %ld "
+              "request(s) x %ld point(s), %d client(s), %d worker(s)\n",
+              transport.c_str(), grids, d, n, requests, points, clients,
+              opts.workers);
+
+  const std::int64_t deadline_us = deadline_ms * 1000;
+  std::vector<std::string> grid_names;
+  grid_names.reserve(static_cast<std::size_t>(grids));
+  for (int g = 0; g < grids; ++g)
+    grid_names.push_back("g" + std::to_string(g));
+  std::atomic<std::uint64_t> ok_points{0}, failed_points{0},
+      transport_errors{0};
+  std::vector<std::vector<double>> lat_us(static_cast<std::size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      try {
+        net::NetClient client(
+            transport == "tcp"
+                ? net::tcp_connect("127.0.0.1", tcp->port())
+                : loopback.connect());
+        const long share =
+            requests / clients + (c < requests % clients ? 1 : 0);
+        const auto pts = workloads::uniform_points(
+            d, static_cast<std::size_t>(std::max(points, 1l)),
+            seed + static_cast<std::uint32_t>(c));
+        auto& lat = lat_us[static_cast<std::size_t>(c)];
+        lat.reserve(static_cast<std::size_t>(share));
+        for (long k = 0; k < share; ++k) {
+          const std::string& grid =
+              grid_names[static_cast<std::size_t>((c + k) % grids)];
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto resp = client.evaluate_batch(grid, pts, deadline_us);
+          lat.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+          for (const auto& r : resp.results) {
+            if (r.status == static_cast<std::uint8_t>(serve::Status::kOk))
+              ok_points.fetch_add(1);
+            else
+              failed_points.fetch_add(1);
+          }
+        }
+      } catch (const std::exception&) {
+        transport_errors.fetch_add(1);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Observability round trip before shutdown: list + stats over the wire.
+  std::uint64_t wire_frames = 0, wire_rejected = 0;
+  std::size_t listed = 0;
+  try {
+    net::NetClient probe(transport == "tcp"
+                             ? net::tcp_connect("127.0.0.1", tcp->port())
+                             : loopback.connect());
+    listed = probe.list_grids().grids.size();
+    const auto ws = probe.fetch_stats();
+    wire_frames = ws.frames_decoded;
+    wire_rejected = ws.frames_rejected;
+  } catch (const std::exception&) {
+    transport_errors.fetch_add(1);
+  }
+  server.stop();
+  service.stop();
+
+  std::vector<double> all;
+  for (const auto& lat : lat_us) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  const auto pct = [&](double q) {
+    return all.empty()
+               ? 0.0
+               : all[std::min(all.size() - 1,
+                              static_cast<std::size_t>(
+                                  q * static_cast<double>(all.size())))];
+  };
+  const double total_points = static_cast<double>(requests) *
+                              static_cast<double>(points);
+  std::printf("  throughput %.0f req/s, %.0f point/s (%ld requests in "
+              "%.3f s)\n",
+              static_cast<double>(requests) / secs, total_points / secs,
+              requests, secs);
+  std::printf("  latency    p50 %.0f us, p95 %.0f us, p99 %.0f us, "
+              "max %.0f us per batch\n",
+              pct(0.50), pct(0.95), pct(0.99), all.empty() ? 0.0 : all.back());
+  std::printf("  wire       %llu frame(s) decoded, %llu rejected, %zu "
+              "grid(s) listed\n",
+              static_cast<unsigned long long>(wire_frames),
+              static_cast<unsigned long long>(wire_rejected), listed);
+  std::printf("  outcomes   %llu ok, %llu failed point(s), %llu transport "
+              "error(s)\n",
+              static_cast<unsigned long long>(ok_points.load()),
+              static_cast<unsigned long long>(failed_points.load()),
+              static_cast<unsigned long long>(transport_errors.load()));
+  // Without deadlines every point must evaluate; with them, timeouts are
+  // legitimate but transport failures never are.
+  const bool ok =
+      transport_errors.load() == 0 &&
+      (deadline_ms > 0 ||
+       ok_points.load() == static_cast<std::uint64_t>(requests) *
+                               static_cast<std::uint64_t>(points));
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -545,6 +807,8 @@ int main(int argc, char** argv) {
       return cmd_restrict(argv[2], argc - 3, argv + 3);
     if (cmd == "selfcheck") return cmd_selfcheck(argc - 2, argv + 2);
     if (cmd == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
+    if (cmd == "net-serve") return cmd_net_serve(argc - 2, argv + 2);
+    if (cmd == "net-bench") return cmd_net_bench(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "csgtool: %s\n", e.what());
     return 1;

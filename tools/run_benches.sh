@@ -64,6 +64,7 @@ args_smoke_bench_ablation_blocking="--dims 4 --level 6 --points 512"
 args_smoke_bench_ablation_traversal="--level 4"
 args_smoke_bench_eval_plan="--dims 4 --level 7 --points 2000"
 args_smoke_bench_serve="--dims 3 --level 4 --requests 256 --batch 32 --queue 64 --producers 2 --workers 2"
+args_smoke_bench_net="--dims 3 --level 4 --requests 256 --points 8 --clients 2 --workers 2"
 args_smoke_bench_ext_fermi="--level 4 --points 64"
 args_smoke_bench_ext_combination="--level 5 --points 100"
 args_smoke_bench_ext_adaptive="--dims 2"
@@ -83,6 +84,7 @@ args_paper_bench_ablation_blocking=""
 args_paper_bench_ablation_traversal=""
 args_paper_bench_eval_plan=""
 args_paper_bench_serve=""
+args_paper_bench_net=""
 args_paper_bench_ext_fermi=""
 args_paper_bench_ext_combination=""
 args_paper_bench_ext_adaptive=""
@@ -94,7 +96,7 @@ args_paper_bench_gp2idx_micro=""
 BENCHES="bench_table1_access bench_fig8_memory bench_fig9_sequential \
 bench_fig10_speedup bench_fig11_scalability bench_ablation_binmat \
 bench_ablation_sharedl bench_ablation_blocking bench_ablation_traversal \
-bench_eval_plan bench_serve bench_ext_fermi bench_ext_combination \
+bench_eval_plan bench_serve bench_net bench_ext_fermi bench_ext_combination \
 bench_ext_adaptive bench_ext_slicing bench_ext_truncation bench_paper_scale \
 bench_gp2idx_micro"
 
