@@ -60,6 +60,7 @@ Environment capture_environment() {
 #endif
   // Runtime override first (CI exports the exact SHA under test), then the
   // configure-time stamp, which can go stale between reconfigures.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read-only, pre-thread startup
   if (const char* sha = std::getenv("CSG_GIT_SHA"); sha != nullptr) {
     env.git_sha = sha;
   } else {

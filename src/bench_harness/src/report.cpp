@@ -188,6 +188,7 @@ std::string Report::write_file(const std::string& path) const {
   std::string out = path;
   if (out.empty()) {
     std::string dir;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read-only, pre-thread startup
     if (const char* d = std::getenv("CSG_BENCH_JSON_DIR"); d != nullptr)
       dir = d;
     out = dir.empty() ? "BENCH_" + name_ + ".json"

@@ -15,5 +15,6 @@
 #include "csg/core/level_enumeration.hpp"
 #include "csg/core/regular_grid.hpp"
 #include "csg/core/restriction.hpp"
+#include "csg/core/thread_annotations.hpp"
 #include "csg/core/truncated.hpp"
 #include "csg/core/types.hpp"

@@ -1,0 +1,253 @@
+// Compile-time lock discipline: Clang thread-safety capability annotations
+// plus the annotated synchronization primitives the analysis needs.
+//
+// The serving stack's mutex invariants used to live in comments, enforced
+// only dynamically by the TSan lane. Clang's -Wthread-safety analysis turns
+// them into compile errors: a member declared CSG_GUARDED_BY(mutex_) cannot
+// be touched without the lock, a method declared CSG_REQUIRES(mutex_)
+// cannot be called without it — on every build, before a race ever has to
+// be provoked at runtime. Two layers live here:
+//
+//  1. The CSG_* annotation macros. Under Clang they expand to the capability
+//     attributes; under every other compiler they expand to nothing, so GCC
+//     builds (the dev-container default) are unaffected.
+//
+//  2. Annotated primitives: csg::Mutex, csg::SharedMutex, the scoped guards
+//     (MutexLock, UniqueMutexLock, ExclusiveLock, SharedLock) and CondVar.
+//     These exist because libstdc++'s std::mutex carries no capability
+//     attributes, so the analysis cannot see std::lock_guard acquire it —
+//     every lock-guarded class in src/ uses these wrappers instead (the
+//     csg-lint mutex-guard-annotations rule enforces it). Zero-overhead
+//     shims: the bodies opt out of the analysis because they manipulate the
+//     raw std types, while the declarations carry the acquire/release
+//     contracts call sites are checked against.
+//
+// The lane: -DCSG_THREAD_SAFETY=ON under Clang builds the whole tree with
+// -Wthread-safety -Wthread-safety-beta -Werror; negative-compile fixtures
+// under tests/thread_safety_fixtures/ prove the annotations bite. Macro
+// reference and how-to: docs/STATIC_ANALYSIS.md, "Thread-safety
+// annotations".
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define CSG_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CSG_THREAD_ANNOTATION_(x)
+#endif
+
+/// Class attribute: instances are lockable capabilities.
+#define CSG_CAPABILITY(name) CSG_THREAD_ANNOTATION_(capability(name))
+
+/// Class attribute: RAII object that holds a capability for its lifetime.
+#define CSG_SCOPED_CAPABILITY CSG_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member: may only be accessed while `x` is held (reads need at least
+/// a shared hold, writes an exclusive one).
+#define CSG_GUARDED_BY(x) CSG_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member: the pointed-to data is protected by `x` (the pointer
+/// itself is not).
+#define CSG_PT_GUARDED_BY(x) CSG_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function: caller must already hold the listed capabilities exclusively.
+#define CSG_REQUIRES(...) \
+  CSG_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function: caller must hold the listed capabilities at least shared.
+#define CSG_REQUIRES_SHARED(...) \
+  CSG_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function: acquires the listed capabilities (exclusive) before returning.
+#define CSG_ACQUIRE(...) \
+  CSG_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function: acquires the listed capabilities shared before returning.
+#define CSG_ACQUIRE_SHARED(...) \
+  CSG_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function: releases the listed exclusively-held capabilities.
+#define CSG_RELEASE(...) \
+  CSG_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function: releases the listed shared-held capabilities.
+#define CSG_RELEASE_SHARED(...) \
+  CSG_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function: releases capabilities held in either mode (scoped-guard
+/// destructors that may hold shared or exclusive).
+#define CSG_RELEASE_GENERIC(...) \
+  CSG_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function: acquires the capabilities only when returning `val`.
+#define CSG_TRY_ACQUIRE(val, ...) \
+  CSG_THREAD_ANNOTATION_(try_acquire_capability(val, __VA_ARGS__))
+
+/// Function: caller must NOT hold the listed capabilities (deadlock guard
+/// for public entry points of classes that lock internally).
+#define CSG_EXCLUDES(...) CSG_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function: asserts (runtime fact, e.g. single-threaded phase) that the
+/// capability is held without acquiring it.
+#define CSG_ASSERT_CAPABILITY(x) CSG_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function: returns a reference to the capability protecting its result.
+#define CSG_RETURN_CAPABILITY(x) CSG_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Function: opt this body out of the analysis. Reserved for the primitive
+/// wrappers below and for deliberately-racy test injection; never use it to
+/// silence a finding in product code.
+#define CSG_NO_THREAD_SAFETY_ANALYSIS \
+  CSG_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace csg {
+
+class CondVar;
+class UniqueMutexLock;
+
+/// Annotated std::mutex. Same size, same cost — the capability attribute is
+/// purely a compile-time artifact.
+class CSG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CSG_ACQUIRE() CSG_NO_THREAD_SAFETY_ANALYSIS { m_.lock(); }
+  void unlock() CSG_RELEASE() CSG_NO_THREAD_SAFETY_ANALYSIS { m_.unlock(); }
+  bool try_lock() CSG_TRY_ACQUIRE(true) CSG_NO_THREAD_SAFETY_ANALYSIS {
+    return m_.try_lock();
+  }
+
+ private:
+  friend class UniqueMutexLock;
+  std::mutex m_;
+};
+
+/// Annotated std::shared_mutex: exclusive writers, shared readers.
+class CSG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CSG_ACQUIRE() CSG_NO_THREAD_SAFETY_ANALYSIS { m_.lock(); }
+  void unlock() CSG_RELEASE() CSG_NO_THREAD_SAFETY_ANALYSIS { m_.unlock(); }
+  void lock_shared() CSG_ACQUIRE_SHARED() CSG_NO_THREAD_SAFETY_ANALYSIS {
+    m_.lock_shared();
+  }
+  void unlock_shared() CSG_RELEASE_SHARED() CSG_NO_THREAD_SAFETY_ANALYSIS {
+    m_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// std::lock_guard equivalent: holds the Mutex for the enclosing scope, no
+/// early release.
+class CSG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) CSG_ACQUIRE(m) : m_(m) { m.lock(); }
+  ~MutexLock() CSG_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// std::unique_lock equivalent: supports early unlock()/relock() and is the
+/// lock type CondVar waits on. The analysis tracks its lock state across
+/// unlock()/lock() pairs (Clang's relockable scoped capabilities).
+class CSG_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& m)
+      CSG_ACQUIRE(m) CSG_NO_THREAD_SAFETY_ANALYSIS : lock_(m.m_) {}
+  ~UniqueMutexLock() CSG_RELEASE() CSG_NO_THREAD_SAFETY_ANALYSIS {
+    // std::unique_lock releases iff still owned.
+  }
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  void lock() CSG_ACQUIRE() CSG_NO_THREAD_SAFETY_ANALYSIS { lock_.lock(); }
+  void unlock() CSG_RELEASE() CSG_NO_THREAD_SAFETY_ANALYSIS {
+    lock_.unlock();
+  }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Writer guard over a SharedMutex (std::unique_lock<std::shared_mutex>
+/// equivalent, scope-bound).
+class CSG_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& m) CSG_ACQUIRE(m) : m_(m) { m.lock(); }
+  ~ExclusiveLock() CSG_RELEASE() { m_.unlock(); }
+
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// Reader guard over a SharedMutex (std::shared_lock equivalent,
+/// scope-bound).
+class CSG_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& m) CSG_ACQUIRE_SHARED(m) : m_(m) {
+    m.lock_shared();
+  }
+  ~SharedLock() CSG_RELEASE_GENERIC() { m_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// Condition variable over csg::Mutex via UniqueMutexLock. Predicate waits
+/// are deliberately absent: spell the loop at the call site —
+///
+///   while (!condition_involving_guarded_state()) cv.wait(lock);
+///
+/// so the guarded reads in the condition are checked against the held lock
+/// in the waiting function itself (a predicate lambda would need its own
+/// REQUIRES annotation and hides the guarded access from the caller's
+/// analysis).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically release `lock`, sleep, reacquire. From the analysis's view
+  /// the lock is held throughout, which is exactly the guarantee the caller
+  /// observes on both sides of the call.
+  void wait(UniqueMutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      UniqueMutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace csg

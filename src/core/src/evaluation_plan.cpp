@@ -2,10 +2,10 @@
 
 #include <list>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "csg/core/level_enumeration.hpp"
+#include "csg/core/thread_annotations.hpp"
 
 namespace csg {
 
@@ -50,19 +50,20 @@ struct PlanCache {
     std::shared_ptr<const EvaluationPlan> plan;
   };
 
-  std::mutex mutex;
+  Mutex mutex;
   // Front = most recently used. std::list iterators stay valid across
   // splice, which is all reordering ever does.
-  std::list<Entry> lru;
-  std::map<Key, std::list<Entry>::iterator> index;
-  std::size_t capacity = EvaluationPlan::kDefaultSharedCacheCap;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t build_races = 0;
+  std::list<Entry> lru CSG_GUARDED_BY(mutex);
+  std::map<Key, std::list<Entry>::iterator> index CSG_GUARDED_BY(mutex);
+  std::size_t capacity CSG_GUARDED_BY(mutex) =
+      EvaluationPlan::kDefaultSharedCacheCap;
+  std::uint64_t hits CSG_GUARDED_BY(mutex) = 0;
+  std::uint64_t misses CSG_GUARDED_BY(mutex) = 0;
+  std::uint64_t evictions CSG_GUARDED_BY(mutex) = 0;
+  std::uint64_t build_races CSG_GUARDED_BY(mutex) = 0;
 
-  /// Must hold `mutex`. Drops least-recently-used entries down to cap.
-  void evict_to_capacity() {
+  /// Drops least-recently-used entries down to cap.
+  void evict_to_capacity() CSG_REQUIRES(mutex) {
     while (lru.size() > capacity) {
       index.erase(lru.back().key);
       lru.pop_back();
@@ -83,7 +84,7 @@ std::shared_ptr<const EvaluationPlan> EvaluationPlan::shared(
   PlanCache& cache = plan_cache();
   const PlanCache::Key key{grid.dim(), grid.level()};
   {
-    std::lock_guard<std::mutex> lock(cache.mutex);
+    MutexLock lock(cache.mutex);
     const auto it = cache.index.find(key);
     if (it != cache.index.end()) {
       ++cache.hits;
@@ -97,7 +98,7 @@ std::shared_ptr<const EvaluationPlan> EvaluationPlan::shared(
   // same key both build; the re-check below keeps the first insert and
   // discards the loser's copy, so the cache never holds duplicates.
   auto plan = std::make_shared<const EvaluationPlan>(grid);
-  std::lock_guard<std::mutex> lock(cache.mutex);
+  MutexLock lock(cache.mutex);
   const auto it = cache.index.find(key);
   if (it != cache.index.end()) {
     ++cache.build_races;
@@ -112,7 +113,7 @@ std::shared_ptr<const EvaluationPlan> EvaluationPlan::shared(
 
 EvaluationPlan::SharedCacheStats EvaluationPlan::shared_cache_stats() {
   PlanCache& cache = plan_cache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
+  MutexLock lock(cache.mutex);
   SharedCacheStats stats;
   stats.size = cache.lru.size();
   stats.capacity = cache.capacity;
@@ -127,7 +128,7 @@ EvaluationPlan::SharedCacheStats EvaluationPlan::shared_cache_stats() {
 
 void EvaluationPlan::shared_cache_clear() {
   PlanCache& cache = plan_cache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
+  MutexLock lock(cache.mutex);
   cache.lru.clear();
   cache.index.clear();
   cache.hits = cache.misses = cache.evictions = cache.build_races = 0;
@@ -136,7 +137,7 @@ void EvaluationPlan::shared_cache_clear() {
 void EvaluationPlan::shared_cache_set_capacity(std::size_t cap) {
   CSG_EXPECTS(cap >= 1);
   PlanCache& cache = plan_cache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
+  MutexLock lock(cache.mutex);
   cache.capacity = cap;
   cache.evict_to_capacity();
 }

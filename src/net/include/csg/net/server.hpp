@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "csg/core/thread_annotations.hpp"
 #include "csg/net/protocol.hpp"
 #include "csg/net/transport.hpp"
 #include "csg/serve/grid_registry.hpp"
@@ -100,18 +101,19 @@ class NetServer {
   bool send(ByteStream& stream, const std::vector<std::uint8_t>& frame);
   bool send_error(ByteStream& stream, std::uint64_t id, WireError code);
   /// Join finished connection threads (amortized in the accept loop).
-  void reap_locked();
+  void reap_locked() CSG_REQUIRES(mutex_);
 
   Listener& listener_;
   const serve::GridRegistry& registry_;
   serve::EvalService& service_;
   const NetServerOptions opts_;
 
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  Mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      CSG_GUARDED_BY(mutex_);
   std::thread accept_thread_;
-  bool started_ = false;
-  bool stopped_ = false;
+  bool started_ CSG_GUARDED_BY(mutex_) = false;
+  bool stopped_ CSG_GUARDED_BY(mutex_) = false;
   std::atomic<bool> stopping_{false};
 
   struct Counters {

@@ -19,14 +19,14 @@
 // called from any thread and wakes both sides.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
+
+#include "csg/core/thread_annotations.hpp"
 
 namespace csg::net {
 
@@ -70,12 +70,13 @@ class Listener {
 namespace detail {
 /// One direction of a loopback connection: a bounded byte queue.
 struct LoopbackPipe {
-  std::mutex mutex;
-  std::condition_variable readable;
-  std::condition_variable writable;
-  std::deque<std::uint8_t> data;
-  std::size_t capacity;
-  bool closed = false;  ///< no more bytes will ever arrive or be accepted
+  Mutex mutex;
+  CondVar readable;
+  CondVar writable;
+  std::deque<std::uint8_t> data CSG_GUARDED_BY(mutex);
+  const std::size_t capacity;  ///< immutable after construction
+  /// No more bytes will ever arrive or be accepted.
+  bool closed CSG_GUARDED_BY(mutex) = false;
 
   explicit LoopbackPipe(std::size_t cap) : capacity(cap) {}
 };
@@ -101,10 +102,10 @@ class LoopbackListener : public Listener {
 
  private:
   const std::size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable pending_cv_;
-  std::deque<std::unique_ptr<ByteStream>> pending_;
-  bool closed_ = false;
+  Mutex mutex_;
+  CondVar pending_cv_;
+  std::deque<std::unique_ptr<ByteStream>> pending_ CSG_GUARDED_BY(mutex_);
+  bool closed_ CSG_GUARDED_BY(mutex_) = false;
 };
 
 // --------------------------------------------------------------------------
@@ -128,8 +129,8 @@ class TcpListener : public Listener {
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: close() wakes the poll
   std::uint16_t port_ = 0;
-  std::mutex mutex_;
-  bool closed_ = false;
+  Mutex mutex_;
+  bool closed_ CSG_GUARDED_BY(mutex_) = false;
 };
 
 /// Blocking connect to 127.0.0.1:port (or `host`, dotted-quad only).

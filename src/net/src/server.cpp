@@ -36,7 +36,7 @@ NetServer::NetServer(Listener& listener, const serve::GridRegistry& registry,
 NetServer::~NetServer() { stop(); }
 
 void NetServer::start() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (started_ || stopped_) return;
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -44,7 +44,7 @@ void NetServer::start() {
 
 void NetServer::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -55,7 +55,7 @@ void NetServer::stop() {
   // they are processing (and flush its response) before exiting.
   std::vector<std::unique_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     conns.swap(connections_);
   }
   for (const auto& c : conns) c->stream->shutdown();
@@ -100,7 +100,7 @@ void NetServer::accept_loop() {
     std::unique_ptr<ByteStream> stream = listener_.accept();
     if (stream == nullptr) return;  // listener closed: shutting down
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     reap_locked();
     if (stopping_.load(std::memory_order_acquire) ||
         connections_.size() >= opts_.max_connections) {

@@ -43,47 +43,49 @@ class LoopbackStream : public ByteStream {
   ~LoopbackStream() override { shutdown(); }
 
   std::size_t read_some(void* buf, std::size_t n) override {
-    std::unique_lock<std::mutex> lock(in_->mutex);
-    in_->readable.wait(lock, [&] { return !in_->data.empty() || in_->closed; });
-    if (in_->data.empty()) return 0;  // closed and drained
-    const std::size_t take = std::min(n, in_->data.size());
+    LoopbackPipe& pipe = *in_;
+    UniqueMutexLock lock(pipe.mutex);
+    while (pipe.data.empty() && !pipe.closed) pipe.readable.wait(lock);
+    if (pipe.data.empty()) return 0;  // closed and drained
+    const std::size_t take = std::min(n, pipe.data.size());
     auto* p = static_cast<std::uint8_t*>(buf);
     for (std::size_t k = 0; k < take; ++k) {
-      p[k] = in_->data.front();
-      in_->data.pop_front();
+      p[k] = pipe.data.front();
+      pipe.data.pop_front();
     }
     lock.unlock();
-    in_->writable.notify_one();
+    pipe.writable.notify_one();
     return take;
   }
 
   bool write_all(const void* buf, std::size_t n) override {
+    LoopbackPipe& pipe = *out_;
     const auto* p = static_cast<const std::uint8_t*>(buf);
     std::size_t sent = 0;
     while (sent < n) {
-      std::unique_lock<std::mutex> lock(out_->mutex);
-      out_->writable.wait(lock, [&] {
-        return out_->data.size() < out_->capacity || out_->closed;
-      });
-      if (out_->closed) return false;
-      const std::size_t room = out_->capacity - out_->data.size();
+      UniqueMutexLock lock(pipe.mutex);
+      while (pipe.data.size() >= pipe.capacity && !pipe.closed)
+        pipe.writable.wait(lock);
+      if (pipe.closed) return false;
+      const std::size_t room = pipe.capacity - pipe.data.size();
       const std::size_t put = std::min(room, n - sent);
-      out_->data.insert(out_->data.end(), p + sent, p + sent + put);
+      pipe.data.insert(pipe.data.end(), p + sent, p + sent + put);
       sent += put;
       lock.unlock();
-      out_->readable.notify_one();
+      pipe.readable.notify_one();
     }
     return true;
   }
 
   void shutdown() override {
-    for (const auto& pipe : {in_, out_}) {
+    for (const auto& end : {in_, out_}) {
+      LoopbackPipe& pipe = *end;
       {
-        std::lock_guard<std::mutex> lock(pipe->mutex);
-        pipe->closed = true;
+        MutexLock lock(pipe.mutex);
+        pipe.closed = true;
       }
-      pipe->readable.notify_all();
-      pipe->writable.notify_all();
+      pipe.readable.notify_all();
+      pipe.writable.notify_all();
     }
   }
 
@@ -105,7 +107,7 @@ loopback_pair(std::size_t capacity) {
 std::unique_ptr<ByteStream> LoopbackListener::connect() {
   auto [client, server] = loopback_pair(capacity_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) return nullptr;  // both ends die with their pipes
     pending_.push_back(std::move(server));
   }
@@ -114,8 +116,8 @@ std::unique_ptr<ByteStream> LoopbackListener::connect() {
 }
 
 std::unique_ptr<ByteStream> LoopbackListener::accept() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  pending_cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  UniqueMutexLock lock(mutex_);
+  while (pending_.empty() && !closed_) pending_cv_.wait(lock);
   if (pending_.empty()) return nullptr;
   auto stream = std::move(pending_.front());
   pending_.pop_front();
@@ -124,7 +126,7 @@ std::unique_ptr<ByteStream> LoopbackListener::accept() {
 
 void LoopbackListener::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   pending_cv_.notify_all();
@@ -226,7 +228,7 @@ TcpListener::~TcpListener() {
 std::unique_ptr<ByteStream> TcpListener::accept() {
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return nullptr;
     }
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
@@ -250,7 +252,7 @@ std::unique_ptr<ByteStream> TcpListener::accept() {
 
 void TcpListener::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) return;
     closed_ = true;
   }

@@ -13,6 +13,13 @@
 // poles (Sec. 6.2 "the tasking concept was applied"). Poles are disjoint
 // point sets, and the storages' structure is frozen after sampling (all
 // keys pre-inserted), so concurrent value writes touch distinct nodes.
+//
+// This layer deliberately carries no thread-safety capability annotations
+// (csg/core/thread_annotations.hpp): it holds no mutexes. Its correctness
+// argument is structural — disjoint index ranges plus OpenMP's implicit
+// barriers — which Clang's capability analysis cannot model. The runtime
+// TSan lane (CSG_SANITIZE=thread, with the GOMP bridge) is the checker for
+// this layer; the annotation lane covers the lock-based serving stack.
 #pragma once
 
 #include <omp.h>

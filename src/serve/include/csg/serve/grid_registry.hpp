@@ -17,13 +17,13 @@
 #pragma once
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "csg/core/compact_storage.hpp"
 #include "csg/core/evaluation_plan.hpp"
+#include "csg/core/thread_annotations.hpp"
 
 namespace csg::serve {
 
@@ -73,8 +73,9 @@ class GridRegistry {
   std::size_t memory_bytes() const;
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const GridEntry>> grids_;
+  mutable SharedMutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const GridEntry>> grids_
+      CSG_GUARDED_BY(mutex_);
 };
 
 }  // namespace csg::serve

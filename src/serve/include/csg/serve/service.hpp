@@ -30,16 +30,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "csg/core/thread_annotations.hpp"
 #include "csg/serve/grid_registry.hpp"
 
 namespace csg::serve {
@@ -164,9 +163,15 @@ class EvalService {
   };
 
   void worker_loop();
-  /// Must hold mutex_. Move queued requests for `entry` into `batch`, up
-  /// to max_batch_points total.
-  void collect_locked(const GridEntry* entry, std::vector<Request>& batch);
+  /// Move queued requests for `entry` into `batch`, up to max_batch_points
+  /// total.
+  void collect_locked(const GridEntry* entry, std::vector<Request>& batch)
+      CSG_REQUIRES(mutex_);
+  /// True once a blocked producer may stop waiting: space freed, or the
+  /// service is shutting down.
+  bool submit_unblocked() const CSG_REQUIRES(mutex_) {
+    return stopping_ || stopped_ || queue_.size() < opts_.queue_capacity;
+  }
   void run_batch(std::vector<Request> batch);
 
   static std::future<EvalResult> immediate(Status status);
@@ -174,13 +179,15 @@ class EvalService {
   const GridRegistry& registry_;
   const ServiceOptions opts_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;  // workers exit once the queue drains
-  bool stopped_ = false;   // terminal: submits reject, start() is a no-op
-  std::vector<std::thread> workers_;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<Request> queue_ CSG_GUARDED_BY(mutex_);
+  /// Workers exit once the queue drains.
+  bool stopping_ CSG_GUARDED_BY(mutex_) = false;
+  /// Terminal: submits reject, start() is a no-op.
+  bool stopped_ CSG_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_ CSG_GUARDED_BY(mutex_);
 
   struct Counters {
     std::atomic<std::uint64_t> submitted{0};

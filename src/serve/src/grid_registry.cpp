@@ -1,7 +1,6 @@
 #include "csg/serve/grid_registry.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
 namespace csg::serve {
@@ -11,32 +10,32 @@ std::shared_ptr<const GridEntry> GridRegistry::add(const std::string& name,
   // Build (and plan) outside the lock: registration of a large grid must
   // not stall concurrent lookups.
   auto entry = std::make_shared<const GridEntry>(name, std::move(storage));
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  ExclusiveLock lock(mutex_);
   grids_[name] = entry;
   return entry;
 }
 
 std::shared_ptr<const GridEntry> GridRegistry::find(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  SharedLock lock(mutex_);
   const auto it = grids_.find(name);
   return it == grids_.end() ? nullptr : it->second;
 }
 
 bool GridRegistry::remove(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  ExclusiveLock lock(mutex_);
   return grids_.erase(name) > 0;
 }
 
 std::size_t GridRegistry::size() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  SharedLock lock(mutex_);
   return grids_.size();
 }
 
 std::vector<std::string> GridRegistry::names() const {
   std::vector<std::string> out;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    SharedLock lock(mutex_);
     out.reserve(grids_.size());
     for (const auto& [name, entry] : grids_) out.push_back(name);
   }
@@ -45,7 +44,7 @@ std::vector<std::string> GridRegistry::names() const {
 }
 
 std::size_t GridRegistry::memory_bytes() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  SharedLock lock(mutex_);
   std::size_t total = 0;
   for (const auto& [name, entry] : grids_) total += entry->memory_bytes();
   return total;

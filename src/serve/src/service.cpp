@@ -102,7 +102,7 @@ std::future<EvalResult> EvalService::submit(const std::string& name,
   req.deadline = deadline;
   std::future<EvalResult> future = req.promise.get_future();
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueMutexLock lock(mutex_);
   if (stopped_ || stopping_) {
     lock.unlock();
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
@@ -117,17 +117,26 @@ std::future<EvalResult> EvalService::submit(const std::string& name,
       return future;
     }
     // Backpressure: hold the producer until space frees, the service
-    // stops, or the request's own deadline expires while waiting.
-    const auto has_space = [&] {
-      return stopping_ || stopped_ || queue_.size() < opts_.queue_capacity;
-    };
+    // stops, or the request's own deadline expires while waiting. The wait
+    // loops are spelled out so the guarded reads in the conditions are
+    // checked against the held lock (see CondVar in thread_annotations.hpp).
     if (req.deadline == kNoDeadline) {
-      not_full_.wait(lock, has_space);
-    } else if (!not_full_.wait_until(lock, req.deadline, has_space)) {
-      lock.unlock();
-      counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
-      req.promise.set_value({Status::kTimeout, 0});
-      return future;
+      while (!submit_unblocked()) not_full_.wait(lock);
+    } else {
+      bool unblocked = true;
+      while (!(unblocked = submit_unblocked())) {
+        if (not_full_.wait_until(lock, req.deadline) ==
+            std::cv_status::timeout) {
+          unblocked = submit_unblocked();
+          break;
+        }
+      }
+      if (!unblocked) {
+        lock.unlock();
+        counters_.timed_out.fetch_add(1, std::memory_order_relaxed);
+        req.promise.set_value({Status::kTimeout, 0});
+        return future;
+      }
     }
     if (stopping_ || stopped_) {
       lock.unlock();
@@ -143,7 +152,7 @@ std::future<EvalResult> EvalService::submit(const std::string& name,
 }
 
 void EvalService::start() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (stopped_ || !workers_.empty()) return;
   workers_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int w = 0; w < opts_.workers; ++w)
@@ -153,7 +162,7 @@ void EvalService::start() {
 void EvalService::stop(bool drain) {
   std::vector<std::thread> workers;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) return;
     if (!drain) {
       // Fail everything still queued; nothing new can arrive once
@@ -170,7 +179,7 @@ void EvalService::stop(bool drain) {
   not_empty_.notify_all();
   not_full_.notify_all();
   for (std::thread& t : workers) t.join();
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // A paused service that was never started drains here: without workers
   // the queued requests would otherwise leak as broken promises.
   for (Request& req : queue_) {
@@ -185,12 +194,12 @@ void EvalService::stop(bool drain) {
 }
 
 bool EvalService::running() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return !workers_.empty() && !stopped_;
 }
 
 std::size_t EvalService::pending() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -226,8 +235,8 @@ void EvalService::collect_locked(const GridEntry* entry,
 
 void EvalService::worker_loop() {
   for (;;) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    UniqueMutexLock lock(mutex_);
+    while (!stopping_ && queue_.empty()) not_empty_.wait(lock);
     if (queue_.empty()) return;  // stopping and fully drained
 
     // Seed the batch with the oldest request's grid, then sweep the queue

@@ -9,6 +9,7 @@
 namespace csg::testing {
 
 std::optional<std::uint64_t> seed_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read-only, pre-thread startup
   const char* raw = std::getenv("CSG_PROPERTY_SEED");
   if (raw == nullptr || *raw == '\0') return std::nullopt;
   char* end = nullptr;

@@ -1,0 +1,38 @@
+// csg-lint fixture: known-bad input for the mutex-guard-annotations rule.
+// Never compiled — the rule is textual. Four violations:
+//   1. raw std::mutex member (invisible to the thread-safety analysis)
+//   2. raw std::lock_guard acquisition
+//   3. a "must hold the mutex" comment standing in for CSG_REQUIRES
+//   4. a csg::Mutex member never referenced by any CSG_* annotation
+#include <cstddef>
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++value_;
+  }
+
+  // Must hold mutex_. Drops the count back to zero.
+  void reset_locked() { value_ = 0; }
+
+ private:
+  std::mutex mutex_;
+  std::size_t value_ = 0;
+};
+
+class Registry {
+ public:
+  void set(std::size_t v) {
+    entries_ = v;  // nothing ties entries_ (or anything) to mutex_
+  }
+
+ private:
+  csg::Mutex mutex_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace fixture

@@ -419,8 +419,16 @@ TEST(ServeStress, ManyShapesUnderLoadKeepPlanCacheBounded) {
   };
   std::vector<Shape> shapes;
   for (dim_t d = 1; d <= 4; ++d)
-    for (level_t n = 3; n <= 5; ++n)
-      shapes.push_back({"g" + std::to_string(d) + "_" + std::to_string(n), d, n});
+    for (level_t n = 3; n <= 5; ++n) {
+      // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+      // false-fires on the inlined literal+rvalue-string concatenation
+      // (libstdc++ char_traits), which breaks the CSG_HARDEN -Werror build.
+      std::string name = "g";
+      name += std::to_string(d);
+      name += '_';
+      name += std::to_string(n);
+      shapes.push_back({name, d, n});
+    }
   for (const Shape& s : shapes) reg.add(s.name, make_grid(s.d, s.n));
   ASSERT_EQ(reg.size(), shapes.size());
   ASSERT_GT(shapes.size(), EvaluationPlan::shared_cache_stats().capacity);

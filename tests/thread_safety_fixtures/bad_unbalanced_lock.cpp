@@ -1,0 +1,29 @@
+// csg-lint fixture: NOT part of the build. Acquires a mutex by hand and
+// returns on one path without releasing it; must fail under
+// -Wthread-safety -Werror (capability still held at end of function).
+#include "csg/core/thread_annotations.hpp"
+
+namespace {
+
+class Gate {
+ public:
+  // BAD: the early return leaks the lock.
+  bool enter(bool fast_path) {
+    mutex_.lock();
+    if (fast_path) return true;
+    ++entries_;
+    mutex_.unlock();
+    return false;
+  }
+
+ private:
+  csg::Mutex mutex_;
+  int entries_ CSG_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Gate g;
+  return g.enter(false) ? 1 : 0;
+}

@@ -1,0 +1,30 @@
+// csg-lint fixture: NOT part of the build. Reads a CSG_GUARDED_BY member
+// without holding its mutex; must fail under -Wthread-safety -Werror.
+#include <cstddef>
+
+#include "csg/core/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    csg::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // BAD: guarded read with no lock held.
+  std::size_t value() const { return value_; }
+
+ private:
+  mutable csg::Mutex mutex_;
+  std::size_t value_ CSG_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return static_cast<int>(c.value());
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Negative-compile matrix for the CSG_THREAD_SAFETY lane.
+#
+# Every bad_*.cpp fixture must FAIL to compile under Clang's thread-safety
+# analysis with -Werror, and ok_annotated.cpp must compile clean — this is
+# the mutation test proving the lane actually bites (annotations present,
+# flags wired, wrapper contracts intact). Without a Clang toolchain the
+# real check cannot run: the fixtures are then syntax-checked with the host
+# compiler (proving the CSG_* macros are no-ops off-Clang, i.e. even the
+# deliberately-broken lock usage is legal C++) and the test exits 77, which
+# ctest reports as SKIPPED via SKIP_RETURN_CODE.
+#
+# Usage: check_thread_safety_fixtures.sh <repo-root> [<host-cxx>]
+set -u
+
+root=${1:?usage: check_thread_safety_fixtures.sh <repo-root> [<host-cxx>]}
+host_cxx=${2:-c++}
+here="$root/tests/thread_safety_fixtures"
+inc="-I$root/src/core/include"
+flags="-std=c++20 -fsyntax-only"
+tsa="-Wthread-safety -Wthread-safety-beta -Werror"
+
+clang=""
+for c in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16; do
+  if command -v "$c" >/dev/null 2>&1; then
+    clang=$c
+    break
+  fi
+done
+
+fail=0
+
+if [ -z "$clang" ]; then
+  echo "thread-safety fixtures: no clang++ on PATH; host-compiler pass only"
+  for f in "$here"/bad_*.cpp "$here"/ok_annotated.cpp; do
+    if ! "$host_cxx" $flags $inc "$f"; then
+      echo "FAIL  $(basename "$f"): does not even parse with $host_cxx"
+      fail=1
+    fi
+  done
+  [ "$fail" -eq 0 ] || exit 1
+  echo "ok    macros are no-ops under $host_cxx; skipping the clang matrix"
+  exit 77
+fi
+
+for f in "$here"/bad_*.cpp; do
+  name=$(basename "$f")
+  if "$clang" $flags $tsa $inc "$f" 2>/dev/null; then
+    echo "FAIL  $name: compiled clean but must be rejected by $clang $tsa"
+    fail=1
+  else
+    echo "ok    $name: rejected as expected"
+  fi
+done
+
+if out=$("$clang" $flags $tsa $inc "$here/ok_annotated.cpp" 2>&1); then
+  echo "ok    ok_annotated.cpp: compiles clean"
+else
+  echo "FAIL  ok_annotated.cpp: must compile clean under $clang $tsa"
+  echo "$out"
+  fail=1
+fi
+
+exit "$fail"

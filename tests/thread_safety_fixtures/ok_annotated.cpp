@@ -1,0 +1,88 @@
+// csg-lint fixture: NOT part of the build. Control for the negative-compile
+// matrix: exercises every primitive the serving stack uses — scoped guards,
+// relockable UniqueMutexLock + CondVar wait loops, shared/exclusive
+// reader-writer guards, CSG_REQUIRES helpers — and must compile clean under
+// -Wthread-safety -Wthread-safety-beta -Werror.
+#include <cstddef>
+#include <deque>
+
+#include "csg/core/thread_annotations.hpp"
+
+namespace {
+
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t cap) : capacity_(cap) {}
+
+  void push(int v) {
+    csg::UniqueMutexLock lock(mutex_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.wait(lock);
+    if (closed_) return;
+    items_.push_back(v);
+    trim_locked();
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  bool pop(int& out) {
+    csg::UniqueMutexLock lock(mutex_);
+    while (items_.empty() && !closed_) not_empty_.wait(lock);
+    if (items_.empty()) return false;
+    out = items_.front();
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      csg::MutexLock lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  void trim_locked() CSG_REQUIRES(mutex_) {
+    while (items_.size() > capacity_) items_.pop_front();
+  }
+
+  const std::size_t capacity_;
+  csg::Mutex mutex_;
+  csg::CondVar not_empty_;
+  csg::CondVar not_full_;
+  std::deque<int> items_ CSG_GUARDED_BY(mutex_);
+  bool closed_ CSG_GUARDED_BY(mutex_) = false;
+};
+
+class Registry {
+ public:
+  void set(std::size_t v) {
+    csg::ExclusiveLock lock(mutex_);
+    value_ = v;
+  }
+
+  std::size_t get() const {
+    csg::SharedLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable csg::SharedMutex mutex_;
+  std::size_t value_ CSG_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  BoundedQueue q(4);
+  q.push(1);
+  int v = 0;
+  q.pop(v);
+  q.close();
+  Registry r;
+  r.set(7);
+  return static_cast<int>(r.get()) - 7 + v - 1;
+}

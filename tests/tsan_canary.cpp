@@ -1,0 +1,65 @@
+// Canary for the two race detectors, built only in the TSan lane
+// (CSG_SANITIZE=thread) and registered with ctest as WILL_FAIL.
+//
+// The Ledger below has one guarded counter. Compiled normally it locks
+// correctly and is boringly race-free. Compiled with
+// -DCSG_TESTING_INJECT_RACE the deposit path skips the lock — the same
+// single-line mutation both detectors exist to catch:
+//
+//  * compile-time: under CSG_THREAD_SAFETY the unlocked `balance_ += 1`
+//    writes a CSG_GUARDED_BY member without its mutex and the build fails
+//    (the injected block is *not* wrapped in CSG_NO_THREAD_SAFETY_ANALYSIS
+//    precisely so the annotation lane sees it);
+//  * runtime: under TSan two threads hammering deposit() produce a data
+//    race report, the process exits nonzero, and WILL_FAIL turns that into
+//    a ctest pass.
+//
+// A lane under which this canary stops failing has silently stopped
+// detecting races; that is the regression this test exists to surface.
+#include <cstdint>
+#include <iostream>
+#include <thread>
+
+#include "csg/core/thread_annotations.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  void deposit() {
+#if defined(CSG_TESTING_INJECT_RACE)
+    balance_ += 1;  // unguarded write: both detectors must fire
+#else
+    csg::MutexLock lock(mutex_);
+    balance_ += 1;
+#endif
+  }
+
+  std::uint64_t balance() const {
+    csg::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  mutable csg::Mutex mutex_;
+  std::uint64_t balance_ CSG_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kDeposits = 100000;
+  Ledger ledger;
+  auto worker = [&ledger] {
+    for (std::uint64_t k = 0; k < kDeposits; ++k) ledger.deposit();
+  };
+  std::thread a(worker);
+  std::thread b(worker);
+  a.join();
+  b.join();
+  std::cout << "balance=" << ledger.balance() << " expected="
+            << 2 * kDeposits << "\n";
+  // The exit code does not depend on the (racy) sum: TSan's own nonzero
+  // exit on a detected race is the failure signal WILL_FAIL inverts.
+  return 0;
+}

@@ -31,6 +31,13 @@ Rules (catalog and suppression policy in docs/STATIC_ANALYSIS.md):
                          csg::testing::mix_seed, never a bare integer
                          literal (raw seeds across binaries collide and
                          correlate the sampled workloads)
+  mutex-guard-annotations  lock-based code in src/ uses the annotated
+                         primitives from csg/core/thread_annotations.hpp:
+                         no raw std::mutex/std::lock_guard/... (invisible
+                         to Clang's -Wthread-safety analysis), every
+                         csg::Mutex member tied to state or methods by a
+                         CSG_* annotation, and no "must hold the mutex"
+                         comments where CSG_REQUIRES belongs
 
 Findings are suppressed per site, never blanket:
   code();  // csg-lint: allow(rule-name) -- reason
@@ -436,6 +443,87 @@ class BenchSeedRule(Rule):
         return findings
 
 
+class MutexGuardAnnotationsRule(Rule):
+    name = "mutex-guard-annotations"
+    description = (
+        "lock-based code in src/ goes through the annotated primitives of "
+        "csg/core/thread_annotations.hpp: no raw std mutexes or guards, "
+        "every csg::Mutex/SharedMutex member referenced by a CSG_* "
+        "capability annotation, no 'must hold' comments standing in for "
+        "CSG_REQUIRES"
+    )
+
+    # Raw standard-library synchronization vocabulary. Any of these in src/
+    # is invisible to the Clang thread-safety analysis, which is exactly why
+    # the annotated wrappers exist.
+    STD_PRIMITIVE = re.compile(
+        r"\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+        r"recursive_timed_mutex|condition_variable|condition_variable_any|"
+        r"lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    )
+    # A csg::Mutex / csg::SharedMutex data member declaration. The `;` / `{`
+    # right after the name keeps references (`Mutex& m`) and constructor
+    # parameters out.
+    MUTEX_MEMBER = re.compile(
+        r"\b(?:csg\s*::\s*)?(Mutex|SharedMutex)\s+(\w+)\s*[;{]"
+    )
+    # Any capability annotation that can tie state or methods to the mutex.
+    ANNOTATION_USES = (
+        "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES", "REQUIRES_SHARED",
+        "ACQUIRE", "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED",
+        "RELEASE_GENERIC", "TRY_ACQUIRE", "EXCLUDES", "ASSERT_CAPABILITY",
+        "RETURN_CAPABILITY",
+    )
+    # A lock-discipline comment doing an annotation's job. Qualified with
+    # mutex/lock so prose like "`bytes` must hold at least ..." (capacity)
+    # or "invariants must hold for ..." (logic) never matches.
+    MUST_HOLD = re.compile(r"must\s+hold\s+[^.\n]*?(mutex|lock)", re.I)
+
+    def applies(self, relpath):
+        p = relpath.replace(os.sep, "/")
+        if p.endswith("core/thread_annotations.hpp"):
+            return False  # the wrappers themselves own the raw primitives
+        return p.startswith("src/")
+
+    def run(self, src):
+        findings = []
+        for m in self.STD_PRIMITIVE.finditer(src.masked):
+            line = src.line_of_offset(m.start())
+            findings.append(Finding(
+                self.name, src.relpath, line,
+                f"`std::{m.group(1)}`: raw standard-library synchronization "
+                "is invisible to the thread-safety analysis; use the "
+                "annotated csg:: primitives (thread_annotations.hpp)",
+            ))
+        annotated = set()
+        for m in re.finditer(
+                r"CSG_(?:" + "|".join(self.ANNOTATION_USES) + r")\s*\(([^)]*)\)",
+                src.masked):
+            annotated.update(re.findall(r"\w+", m.group(1)))
+        for m in self.MUTEX_MEMBER.finditer(src.masked):
+            typ, name = m.groups()
+            if name in annotated:
+                continue
+            line = src.line_of_offset(m.start())
+            findings.append(Finding(
+                self.name, src.relpath, line,
+                f"`{typ} {name}`: mutex member is never referenced by a "
+                "CSG_* capability annotation — annotate the state it guards "
+                "(CSG_GUARDED_BY) or the methods that need it "
+                "(CSG_REQUIRES)",
+            ))
+        for k, line_text in enumerate(src.raw_lines):
+            if "//" not in line_text and "/*" not in line_text:
+                continue
+            if self.MUST_HOLD.search(line_text):
+                findings.append(Finding(
+                    self.name, src.relpath, k + 1,
+                    "lock-discipline comment; state the contract as "
+                    "CSG_REQUIRES(...) so the compiler enforces it instead",
+                ))
+        return findings
+
+
 class HeaderSelfContainedRule(Rule):
     """Compiles every public header standalone; not a per-file text rule."""
 
@@ -497,7 +585,8 @@ class HeaderSelfContainedRule(Rule):
 
 def text_rules(_args):
     return [ShiftWidthRule(), ImplicitNarrowingRule(), RawAllocRule(),
-            OmpLoopCounterRule(), PragmaOnceRule(), BenchSeedRule()]
+            OmpLoopCounterRule(), PragmaOnceRule(), BenchSeedRule(),
+            MutexGuardAnnotationsRule()]
 
 
 def collect_sources(root):
@@ -580,6 +669,7 @@ FIXTURES = {
     "header-self-contained": "bad_header_self_contained.hpp",
     "pragma-once": "bad_pragma_once.hpp",
     "bench-seed": "bad_bench_seed.cpp",
+    "mutex-guard-annotations": "bad_mutex_guard.cpp",
 }
 
 

@@ -44,6 +44,14 @@ namespace {
 
 using namespace csg;
 
+/// "g<index>", built append-style: GCC 12's -Wrestrict false-fires on the
+/// inlined literal+rvalue-string operator+ chain under CSG_HARDEN.
+std::string grid_name(long g) {
+  std::string name = "g";
+  name += std::to_string(g);
+  return name;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -469,7 +477,7 @@ int cmd_serve_bench(int argc, char** argv) {
     CompactStorage s(d, n);
     s.sample(workloads::simulation_field(d).f);
     hierarchize(s);
-    registry.add("g" + std::to_string(g), std::move(s));
+    registry.add(grid_name(g), std::move(s));
   }
   serve::EvalService service(registry, opts);
   std::printf("serve-bench: %d grid(s) d=%u level=%u (%.1f KB registry), "
@@ -495,8 +503,7 @@ int cmd_serve_bench(int argc, char** argv) {
       auto& lat = lat_us[static_cast<std::size_t>(p)];
       lat.reserve(static_cast<std::size_t>(share));
       for (long k = 0; k < share; ++k) {
-        const std::string grid =
-            "g" + std::to_string((p + k) % grids);
+        const std::string grid = grid_name((p + k) % grids);
         const auto t0 = std::chrono::steady_clock::now();
         auto fut = service.submit(grid, pts[static_cast<std::size_t>(k)]);
         (void)fut.get();
@@ -547,7 +554,7 @@ void register_grids(serve::GridRegistry& registry, int grids, dim_t d,
     CompactStorage s(d, n);
     s.sample(workloads::simulation_field(d).f);
     hierarchize(s);
-    registry.add("g" + std::to_string(g), std::move(s));
+    registry.add(grid_name(g), std::move(s));
   }
 }
 
@@ -687,7 +694,7 @@ int cmd_net_bench(int argc, char** argv) {
   std::vector<std::string> grid_names;
   grid_names.reserve(static_cast<std::size_t>(grids));
   for (int g = 0; g < grids; ++g)
-    grid_names.push_back("g" + std::to_string(g));
+    grid_names.push_back(grid_name(g));
   std::atomic<std::uint64_t> ok_points{0}, failed_points{0},
       transport_errors{0};
   std::vector<std::vector<double>> lat_us(static_cast<std::size_t>(clients));
