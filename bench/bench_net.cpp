@@ -97,6 +97,8 @@ int main(int argc, char** argv) {
   const auto points = static_cast<std::size_t>(args.get_int("--points", 8));
   const int clients = static_cast<int>(args.get_int("--clients", 4));
   const int workers = static_cast<int>(args.get_int("--workers", 2));
+  const auto in_flight =
+      static_cast<std::size_t>(args.get_int("--in-flight", 4));
 
   csg::bench::print_header(
       "bench_net: wire protocol in front of the evaluation service",
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
   report.set_param("points", static_cast<std::int64_t>(points));
   report.set_param("clients", static_cast<std::int64_t>(clients));
   report.set_param("workers", static_cast<std::int64_t>(workers));
+  report.set_param("in_flight", static_cast<std::int64_t>(in_flight));
 
   // --- wire layout freeze ----------------------------------------------
   // Frame sizes of fully specified messages. These are pure functions of
@@ -226,6 +229,59 @@ int main(int argc, char** argv) {
               static_cast<double>(sv.timed_out), "requests");
     add_exact(report, "shedding/evaluated_points",
               static_cast<double>(sv.batched_points), "points");
+  }
+
+  // --- deterministic pipelining accounting ------------------------------
+  // One connection submits --in-flight eval requests back-to-back against
+  // a *paused* service: no response can be written until start(), so every
+  // frame after the first is provably admitted while earlier responses are
+  // still in flight. pipelined_frames and frames_in_flight_peak are then
+  // pure functions of --in-flight, and collect() (which checks ids) proves
+  // the responses still come back in request order.
+  {
+    serve::GridRegistry registry;
+    registry.add("g0", make_grid(d, n));
+    serve::ServiceOptions sopts;
+    sopts.workers = workers;
+    sopts.start_paused = true;
+    serve::EvalService service(registry, sopts);
+    net::LoopbackListener listener;
+    net::NetServerOptions nopts;
+    nopts.max_in_flight = in_flight;
+    net::NetServer server(listener, registry, service, nopts);
+    server.start();
+    std::size_t collected = 0;
+    {
+      net::NetClient client(listener.connect());
+      const auto pts = workloads::uniform_points(d, points, 41);
+      for (std::size_t r = 0; r < in_flight; ++r)
+        (void)client.submit_eval("g0", pts);
+      // All frames must be admitted (and counted) before the service runs.
+      settle([&] {
+        return server.stats().pipelined_frames >= in_flight - 1;
+      });
+      service.start();
+      while (client.outstanding() > 0) {
+        (void)client.collect();  // throws on out-of-order or mismatched ids
+        ++collected;
+      }
+    }
+    server.stop();
+    service.stop();
+    const net::NetServerStats ns = server.stats();
+    std::printf("pipelining  %llu frame(s) overlapped, peak %llu in flight, "
+                "%zu collected in order\n",
+                static_cast<unsigned long long>(ns.pipelined_frames),
+                static_cast<unsigned long long>(ns.frames_in_flight_peak),
+                collected);
+    add_exact(report, "pipeline/pipelined_frames",
+              static_cast<double>(ns.pipelined_frames), "frames");
+    add_exact(report, "pipeline/frames_in_flight_peak",
+              static_cast<double>(ns.frames_in_flight_peak), "frames");
+    add_exact(report, "pipeline/eval_requests",
+              static_cast<double>(ns.eval_requests), "requests");
+    add_exact(report, "pipeline/collected", static_cast<double>(collected),
+              "responses");
   }
 
   // --- deterministic corrupt-frame rejection ----------------------------

@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   report.set_param("queue", static_cast<std::int64_t>(queue));
   report.set_param("producers", static_cast<std::int64_t>(producers));
   report.set_param("workers", static_cast<std::int64_t>(workers));
+  report.set_param("shards", static_cast<std::int64_t>(4));
 
   // --- deterministic batching accounting -------------------------------
   // Paused service, zero window: all R requests are queued before any
@@ -168,6 +169,82 @@ int main(int argc, char** argv) {
               static_cast<double>(st.timed_out), "requests");
     add_exact(report, "deadline/evaluated_points",
               static_cast<double>(st.batched_points), "points");
+  }
+
+  // --- deterministic shard isolation -----------------------------------
+  // One hot grid floods its shard past capacity (kReject) while a cold
+  // grid on a *different* shard is loaded to exactly its own capacity.
+  // Per-grid sharding means the hot shard sheds without touching the cold
+  // one: the cold shard completes everything, rejections stay pinned to
+  // the hot shard, and every number is pure arithmetic. The grid-to-shard
+  // map is a fixed FNV-1a hash, so the hot/cold pick is stable run-to-run.
+  {
+    const std::size_t shard_count = 4;
+    serve::GridRegistry shard_registry;
+    const auto shard_level = static_cast<level_t>(std::min<int>(n, 3));
+    for (int g = 0; g < 8; ++g)
+      shard_registry.add("shard" + std::to_string(g),
+                         make_grid(d, shard_level));
+    serve::ServiceOptions opts;
+    opts.shard_count = shard_count;
+    opts.queue_capacity = queue;
+    opts.max_batch_points = batch;
+    opts.batch_window = std::chrono::microseconds(0);
+    opts.workers = workers;
+    opts.overflow = serve::OverflowPolicy::kReject;
+    opts.start_paused = true;
+    serve::EvalService service(shard_registry, opts);
+    const std::string hot = "shard0";
+    std::string cold;
+    for (int g = 1; g < 8; ++g) {
+      std::string name = "shard" + std::to_string(g);
+      if (service.shard_of(name) != service.shard_of(hot)) {
+        cold = std::move(name);
+        break;
+      }
+    }
+    if (cold.empty()) {
+      std::fprintf(stderr, "bench_serve: no cold shard candidate found\n");
+      return 1;
+    }
+    std::vector<std::future<serve::EvalResult>> futs;
+    futs.reserve(requests + queue);
+    for (std::size_t k = 0; k < requests; ++k)
+      futs.push_back(service.submit(hot, pts[k % pts.size()]));
+    for (std::size_t k = 0; k < queue; ++k)
+      futs.push_back(service.submit(cold, pts[k % pts.size()]));
+    service.start();
+    std::size_t ok = 0, shed = 0;
+    for (auto& f : futs) {
+      const auto r = f.get();
+      if (r.status == serve::Status::kOk)
+        ++ok;
+      else
+        ++shed;
+    }
+    service.stop();
+    const auto st = service.stats();
+    const auto& hot_shard = st.shards[service.shard_of(hot)];
+    const auto& cold_shard = st.shards[service.shard_of(cold)];
+    std::printf("sharding    hot shard %zu shed %llu of %zu, cold shard %zu "
+                "completed %llu of %zu (%zu ok / %zu shed overall)\n",
+                service.shard_of(hot),
+                static_cast<unsigned long long>(hot_shard.rejections),
+                requests, service.shard_of(cold),
+                static_cast<unsigned long long>(cold_shard.submits), queue,
+                ok, shed);
+    add_exact(report, "sharding/hot_submits",
+              static_cast<double>(hot_shard.submits), "requests");
+    add_exact(report, "sharding/hot_rejections",
+              static_cast<double>(hot_shard.rejections), "requests");
+    add_exact(report, "sharding/cold_submits",
+              static_cast<double>(cold_shard.submits), "requests");
+    add_exact(report, "sharding/cold_rejections",
+              static_cast<double>(cold_shard.rejections), "requests");
+    add_exact(report, "sharding/completed", static_cast<double>(st.completed),
+              "requests");
+    add_exact(report, "sharding/hot_max_queue_depth",
+              static_cast<double>(hot_shard.max_queue_depth), "requests");
   }
 
   // --- live throughput (informational) ---------------------------------

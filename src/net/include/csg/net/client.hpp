@@ -1,8 +1,14 @@
-// NetClient: blocking request/response client for the csg::net protocol.
+// NetClient: request/response client for the csg::net protocol.
 //
-// One stream, one request in flight (matching the server's serial
-// per-connection discipline). Transport failures and protocol violations —
-// a response that is malformed, carries the wrong id, or answers with the
+// The blocking calls (evaluate_batch, list_grids, fetch_stats) keep one
+// request in flight. The async pair submit_eval()/collect() pipelines:
+// submit_eval writes a request frame and returns its id immediately, and
+// collect() reads the oldest outstanding response — the server guarantees
+// responses arrive in request order, so collect() resolves submissions
+// FIFO. Up to NetServerOptions::max_in_flight frames may be outstanding
+// before the server stops reading ahead (the transport then backpressures
+// further submits). Transport failures and protocol violations — a
+// response that is malformed, carries the wrong id, or answers with the
 // wrong message type — throw std::runtime_error, the same loud-rejection
 // contract the csg::io loaders follow. A server-sent error frame throws a
 // RemoteError carrying the wire code so callers can tell "the server
@@ -12,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -54,6 +61,19 @@ class NetClient {
                               const std::vector<CoordVector>& points,
                               std::int64_t deadline_us = 0);
 
+  /// Pipelined submission: write an eval request and return its id without
+  /// waiting for the response. Pair each submit_eval with one collect().
+  std::uint64_t submit_eval(const std::string& name,
+                            const std::vector<CoordVector>& points,
+                            std::int64_t deadline_us = 0);
+
+  /// Read the response of the *oldest* outstanding submit_eval (responses
+  /// arrive in request order). Throws when nothing is outstanding.
+  EvalResponse collect();
+
+  /// Eval requests submitted and not yet collected.
+  std::size_t outstanding() const { return pending_.size(); }
+
   ListResponse list_grids();
 
   WireStats fetch_stats();
@@ -62,14 +82,25 @@ class NetClient {
   void close();
 
  private:
+  struct PendingEval {
+    std::uint64_t id = 0;
+    std::size_t points = 0;
+  };
+
   /// Write `frame`, read one frame back, expecting `want` (error frames
-  /// throw RemoteError). Returns the response payload.
+  /// throw RemoteError). Returns the response payload. Blocking calls must
+  /// not interleave with outstanding pipelined submissions.
   std::vector<std::uint8_t> round_trip(const std::vector<std::uint8_t>& frame,
                                        MsgType want);
+  void write_frame(const std::vector<std::uint8_t>& frame);
+  /// Read one frame, expecting `want`; error frames throw RemoteError.
+  std::vector<std::uint8_t> read_response(MsgType want);
+  void require_idle(const char* what) const;
 
   std::unique_ptr<ByteStream> stream_;
   ProtocolLimits limits_;
   std::uint64_t next_id_ = 1;
+  std::deque<PendingEval> pending_;
 };
 
 }  // namespace csg::net

@@ -126,9 +126,18 @@ struct ListResponse {
   std::vector<GridInfo> grids;
 };
 
+/// Per-shard counter triple of the sharded EvalService, appended to the
+/// stats frame after the fixed v1 fields (see kStatsFieldCount).
+struct WireShardStats {
+  std::uint64_t submits = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t max_queue_depth = 0;
+};
+
 /// Cumulative counters of the serving stack, service + network layer, as
 /// one flat list of u64 fields (field count on the wire for forward
-/// compatibility; v1 writes exactly kStatsFieldCount).
+/// compatibility; v1 wrote exactly kStatsFieldCount, newer builds append
+/// the pipelining counters and the per-shard triples behind it).
 struct WireStats {
   // serve::ServiceStats
   std::uint64_t submitted = 0;
@@ -148,9 +157,19 @@ struct WireStats {
   std::uint64_t frames_rejected = 0;
   std::uint64_t eval_requests = 0;
   std::uint64_t eval_points = 0;
+  // Appended fields (absent on frames from a pre-pipelining peer; the
+  // decoder leaves the defaults in place for those).
+  std::uint64_t frames_in_flight_peak = 0;  ///< per-connection high-water
+  std::uint64_t pipelined_frames = 0;  ///< frames admitted with >=1 pending
+  std::vector<WireShardStats> shards;  ///< per-shard service counters
 };
 
+/// The v1 field floor: every stats frame carries at least these 16 fields.
+/// Newer builds append `kStatsAppendedFieldCount` scalar fields (pipelining
+/// counters + shard count) followed by 3 u64 per shard; an older reader
+/// skips everything past the floor by count.
 inline constexpr std::uint32_t kStatsFieldCount = 16;
+inline constexpr std::uint32_t kStatsAppendedFieldCount = 3;
 
 /// Error frame: `code` is a WireError value; `id` echoes the offending
 /// request's id when one was decodable, 0 otherwise.

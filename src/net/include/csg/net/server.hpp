@@ -1,11 +1,17 @@
 // NetServer: the network front of serve::EvalService.
 //
 // One thread accepts connections from a Listener (TCP or loopback); each
-// connection gets a handler thread running a strictly serial loop: read one
-// frame, decode, dispatch, write the response, repeat. Serial handling *is*
-// the per-connection backpressure — a client never has more than one
-// request outstanding per connection, and a slow client stalls only its own
-// connection (the transport's bounded buffers push back on the writer).
+// connection gets a reader thread (read one frame, decode, dispatch) and a
+// writer thread draining a bounded in-order response queue. A connection
+// may have up to max_in_flight frames outstanding: the reader keeps
+// decoding and submitting while earlier responses are still being
+// evaluated or written, so one slow batch no longer stalls the requests
+// queued behind it on the same connection. Responses are written strictly
+// in request order — the reader appends response slots FIFO and the single
+// writer pops them FIFO, waiting on each slot's evaluation futures in
+// turn. Once max_in_flight slots are pending the reader blocks, so a slow
+// client still backpressures only its own connection (the transport's
+// bounded buffers push back on the writer).
 //
 // Malformed input never crashes the server; it is classified by the codec:
 //
@@ -27,6 +33,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -43,6 +51,9 @@ struct NetServerOptions {
   ProtocolLimits limits;
   /// Connections beyond this are accepted, sent an error frame, and closed.
   std::size_t max_connections = 64;
+  /// Frames a connection may have outstanding (decoded but response not yet
+  /// written). 1 restores the strictly serial pre-pipelining discipline.
+  std::size_t max_in_flight = 8;
 };
 
 /// Cumulative network-layer counters (the service keeps its own). Reads are
@@ -61,6 +72,11 @@ struct NetServerStats {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t active_connections = 0;  ///< gauge, not cumulative
+  /// High-water mark of response slots outstanding on any one connection.
+  std::uint64_t frames_in_flight_peak = 0;
+  /// Frames admitted while >= 1 earlier frame on the same connection was
+  /// still pending — zero for a strictly serial client.
+  std::uint64_t pipelined_frames = 0;
 };
 
 class NetServer {
@@ -93,11 +109,48 @@ class NetServer {
     std::atomic<bool> done{false};
   };
 
+  /// One queued response, in request order. Eval slots carry the service
+  /// futures and are encoded by the writer once they resolve; every other
+  /// response (list, stats, error) is pre-encoded by the reader.
+  struct ResponseSlot {
+    bool is_eval = false;
+    bool is_error = false;
+    std::uint64_t id = 0;
+    std::vector<std::future<serve::EvalResult>> futures;
+    std::vector<std::uint8_t> frame;
+  };
+
+  /// Reader/writer handoff of one connection: a bounded FIFO of response
+  /// slots. Lives on the reader's stack; the writer is joined before it
+  /// goes away.
+  struct Pipeline {
+    Mutex mutex;
+    CondVar slot_free;   ///< reader waits here when max_in_flight are pending
+    CondVar slot_ready;  ///< writer waits here for work (or reader_done)
+    std::deque<ResponseSlot> queue CSG_GUARDED_BY(mutex);
+    /// Responses admitted but not yet written to the stream. Differs from
+    /// queue.size(): a slot the writer popped stays in flight until its
+    /// frame is actually sent, which is what the pipelining counters
+    /// observe (and what makes them deterministic against a paused
+    /// service, where nothing is ever sent).
+    std::size_t inflight CSG_GUARDED_BY(mutex) = 0;
+    /// No further slots will be enqueued; the writer exits once drained.
+    bool reader_done CSG_GUARDED_BY(mutex) = false;
+    /// A write failed: the stream is dead, stop enqueueing and drop slots.
+    bool aborted CSG_GUARDED_BY(mutex) = false;
+  };
+
   void accept_loop();
   void connection_loop(ByteStream& stream);
-  /// Handle one already-read frame; false closes the connection.
-  bool handle_frame(ByteStream& stream, const FrameHeader& header,
+  void writer_loop(ByteStream& stream, Pipeline& pipeline);
+  /// Queue one response slot in request order, blocking while max_in_flight
+  /// slots are already pending. False when the writer aborted.
+  bool enqueue(Pipeline& pipeline, ResponseSlot slot);
+  /// Handle one already-read frame; false closes the connection (the
+  /// writer still drains everything queued, including a final error frame).
+  bool handle_frame(Pipeline& pipeline, const FrameHeader& header,
                     std::span<const std::uint8_t> payload);
+  ResponseSlot error_slot(std::uint64_t id, WireError code);
   bool send(ByteStream& stream, const std::vector<std::uint8_t>& frame);
   bool send_error(ByteStream& stream, std::uint64_t id, WireError code);
   /// Join finished connection threads (amortized in the accept loop).
@@ -130,6 +183,8 @@ class NetServer {
     std::atomic<std::uint64_t> bytes_in{0};
     std::atomic<std::uint64_t> bytes_out{0};
     std::atomic<std::uint64_t> active_connections{0};
+    std::atomic<std::uint64_t> frames_in_flight_peak{0};
+    std::atomic<std::uint64_t> pipelined_frames{0};
   };
   Counters counters_;
 };

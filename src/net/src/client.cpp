@@ -18,15 +18,32 @@ NetClient NetClient::connect_tcp(const std::string& host, std::uint16_t port,
 void NetClient::close() {
   if (stream_ != nullptr) stream_->shutdown();
   stream_.reset();
+  pending_.clear();
 }
 
-std::vector<std::uint8_t> NetClient::round_trip(
-    const std::vector<std::uint8_t>& frame, MsgType want) {
+void NetClient::require_idle(const char* what) const {
+  if (!pending_.empty())
+    throw std::runtime_error(
+        std::string("csg::net: ") + what +
+        " with pipelined requests outstanding (collect() them first)");
+}
+
+void NetClient::write_frame(const std::vector<std::uint8_t>& frame) {
   if (stream_ == nullptr)
     throw std::runtime_error("csg::net: client is closed");
   if (!stream_->write_all(frame.data(), frame.size()))
     throw std::runtime_error("csg::net: connection lost while sending");
+}
 
+std::vector<std::uint8_t> NetClient::round_trip(
+    const std::vector<std::uint8_t>& frame, MsgType want) {
+  write_frame(frame);
+  return read_response(want);
+}
+
+std::vector<std::uint8_t> NetClient::read_response(MsgType want) {
+  if (stream_ == nullptr)
+    throw std::runtime_error("csg::net: client is closed");
   std::uint8_t header_buf[kFrameHeaderBytes];
   if (!read_exact(*stream_, header_buf, kFrameHeaderBytes))
     throw std::runtime_error("csg::net: connection closed by server");
@@ -58,27 +75,49 @@ std::vector<std::uint8_t> NetClient::round_trip(
 EvalResponse NetClient::evaluate_batch(const std::string& name,
                                        const std::vector<CoordVector>& points,
                                        std::int64_t deadline_us) {
+  require_idle("evaluate_batch");
+  (void)submit_eval(name, points, deadline_us);
+  return collect();
+}
+
+std::uint64_t NetClient::submit_eval(const std::string& name,
+                                     const std::vector<CoordVector>& points,
+                                     std::int64_t deadline_us) {
   EvalRequest req;
   req.id = next_id_++;
   req.grid = name;
   req.deadline_us = deadline_us;
   req.points = points;
-  const auto payload =
-      round_trip(encode_eval_request(req), MsgType::kEvalResponse);
+  write_frame(encode_eval_request(req));
+  pending_.push_back({req.id, points.size()});
+  return req.id;
+}
+
+EvalResponse NetClient::collect() {
+  if (pending_.empty())
+    throw std::runtime_error("csg::net: collect() with nothing outstanding");
+  // Responses come back in request order, so the frame on the stream
+  // belongs to the oldest pending submission. Any failure (including a
+  // RemoteError frame) consumes that submission: the slot is spent either
+  // way, and the caller keeps collecting the rest.
+  const PendingEval expect = pending_.front();
+  pending_.pop_front();
+  const auto payload = read_response(MsgType::kEvalResponse);
 
   EvalResponse resp;
   const WireError err = decode_eval_response(payload, resp, limits_);
   if (err != WireError::kNone)
     throw std::runtime_error(std::string("csg::net: malformed response: ") +
                              to_string(err));
-  if (resp.id != req.id)
+  if (resp.id != expect.id)
     throw std::runtime_error("csg::net: response id mismatch");
-  if (resp.results.size() != points.size())
+  if (resp.results.size() != expect.points)
     throw std::runtime_error("csg::net: response point count mismatch");
   return resp;
 }
 
 ListResponse NetClient::list_grids() {
+  require_idle("list_grids");
   const auto payload =
       round_trip(encode_list_request(), MsgType::kListResponse);
   ListResponse resp;
@@ -88,6 +127,7 @@ ListResponse NetClient::list_grids() {
 }
 
 WireStats NetClient::fetch_stats() {
+  require_idle("fetch_stats");
   const auto payload =
       round_trip(encode_stats_request(), MsgType::kStatsResponse);
   WireStats stats;

@@ -183,7 +183,10 @@ std::vector<std::uint8_t> encode_stats_request() {
 std::vector<std::uint8_t> encode_stats_response(const WireStats& msg) {
   auto frame = begin_frame(MsgType::kStatsResponse);
   Writer w(frame);
-  w.put<std::uint32_t>(kStatsFieldCount);
+  const auto shard_fields =
+      3 * static_cast<std::uint32_t>(msg.shards.size());
+  w.put<std::uint32_t>(kStatsFieldCount + kStatsAppendedFieldCount +
+                       shard_fields);
   w.put<std::uint64_t>(msg.submitted);
   w.put<std::uint64_t>(msg.completed);
   w.put<std::uint64_t>(msg.rejected);
@@ -200,6 +203,16 @@ std::vector<std::uint8_t> encode_stats_response(const WireStats& msg) {
   w.put<std::uint64_t>(msg.frames_rejected);
   w.put<std::uint64_t>(msg.eval_requests);
   w.put<std::uint64_t>(msg.eval_points);
+  // Appended past the v1 floor: pipelining counters, then the shard count
+  // and 3 u64 per shard. An older reader skips all of this by field count.
+  w.put<std::uint64_t>(msg.frames_in_flight_peak);
+  w.put<std::uint64_t>(msg.pipelined_frames);
+  w.put<std::uint64_t>(static_cast<std::uint64_t>(msg.shards.size()));
+  for (const WireShardStats& sh : msg.shards) {
+    w.put<std::uint64_t>(sh.submits);
+    w.put<std::uint64_t>(sh.rejections);
+    w.put<std::uint64_t>(sh.max_queue_depth);
+  }
   return end_frame(std::move(frame));
 }
 
@@ -310,9 +323,30 @@ WireError decode_stats_response(std::span<const std::uint8_t> payload,
   out.frames_rejected = r.get<std::uint64_t>();
   out.eval_requests = r.get<std::uint64_t>();
   out.eval_points = r.get<std::uint64_t>();
+  out.frames_in_flight_peak = 0;
+  out.pipelined_frames = 0;
+  out.shards.clear();
+  std::uint64_t extras = fields - kStatsFieldCount;
+  if (extras >= kStatsAppendedFieldCount) {
+    out.frames_in_flight_peak = r.get<std::uint64_t>();
+    out.pipelined_frames = r.get<std::uint64_t>();
+    const auto shard_count = r.get<std::uint64_t>();
+    extras -= kStatsAppendedFieldCount;
+    // The declared shard triples must fit inside the declared field count;
+    // a frame that claims more shards than fields is structurally broken.
+    if (!r.ok() || shard_count > extras / 3) return WireError::kBadPayload;
+    out.shards.assign(static_cast<std::size_t>(shard_count),
+                      WireShardStats{});
+    for (WireShardStats& sh : out.shards) {
+      sh.submits = r.get<std::uint64_t>();
+      sh.rejections = r.get<std::uint64_t>();
+      sh.max_queue_depth = r.get<std::uint64_t>();
+    }
+    extras -= 3 * shard_count;
+  }
   // Skip fields appended by a newer peer. Bail on the first overrun: a
   // garbage field count must not turn into a multi-billion-step spin.
-  for (std::uint32_t k = kStatsFieldCount; k < fields && r.ok(); ++k)
+  for (std::uint64_t k = 0; k < extras && r.ok(); ++k)
     (void)r.get<std::uint64_t>();
   return r.done() ? WireError::kNone : WireError::kBadPayload;
 }

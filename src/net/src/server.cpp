@@ -8,6 +8,15 @@ namespace csg::net {
 
 namespace {
 
+/// Atomic max for the frames_in_flight_peak counter.
+void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t candidate) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !slot.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 /// Header errors poison the stream position; payload errors do not.
 bool closes_connection(WireError e) {
   switch (e) {
@@ -84,6 +93,10 @@ NetServerStats NetServer::stats() const {
   s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
   s.active_connections =
       counters_.active_connections.load(std::memory_order_relaxed);
+  s.frames_in_flight_peak =
+      counters_.frames_in_flight_peak.load(std::memory_order_relaxed);
+  s.pipelined_frames =
+      counters_.pipelined_frames.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -127,16 +140,23 @@ void NetServer::accept_loop() {
 }
 
 void NetServer::connection_loop(ByteStream& stream) {
+  // Reader half of the connection: decode frames and enqueue response
+  // slots; the writer thread drains them in request order. The pipeline
+  // lives on this stack frame — the writer is joined before it unwinds.
+  Pipeline pipeline;
+  std::thread writer(
+      [this, &stream, &pipeline] { writer_loop(stream, pipeline); });
+
   std::vector<std::uint8_t> header_buf(kFrameHeaderBytes);
   std::vector<std::uint8_t> payload;
   for (;;) {
     // Clean end-of-stream between frames is a normal close; anything that
     // ends inside a frame is a truncation and counts as rejected.
     const std::size_t first = stream.read_some(header_buf.data(), 1);
-    if (first == 0) return;
+    if (first == 0) break;
     if (!read_exact(stream, header_buf.data() + 1, kFrameHeaderBytes - 1)) {
       counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-      return;
+      break;
     }
     counters_.bytes_in.fetch_add(kFrameHeaderBytes, std::memory_order_relaxed);
 
@@ -149,35 +169,124 @@ void NetServer::connection_loop(ByteStream& stream) {
       if (header.payload_bytes > 0 &&
           !read_exact(stream, payload.data(), payload.size())) {
         counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-        return;
+        break;
       }
       counters_.bytes_in.fetch_add(header.payload_bytes,
                                    std::memory_order_relaxed);
       counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-      if (!send_error(stream, 0, head_err)) return;
+      if (!enqueue(pipeline, error_slot(0, head_err))) break;
       continue;
     }
     if (head_err != WireError::kNone) {
       counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-      send_error(stream, 0, head_err);
-      return;  // other header errors poison the stream position
+      // Other header errors poison the stream position: queue a final
+      // best-effort error frame and stop reading; the writer drains it.
+      enqueue(pipeline, error_slot(0, head_err));
+      break;
     }
 
     payload.resize(static_cast<std::size_t>(header.payload_bytes));
     if (header.payload_bytes > 0 &&
         !read_exact(stream, payload.data(), payload.size())) {
       counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-      return;
+      break;
     }
     counters_.bytes_in.fetch_add(header.payload_bytes,
                                  std::memory_order_relaxed);
 
-    if (!handle_frame(stream, header, payload)) return;
-    if (stopping_.load(std::memory_order_acquire)) return;  // drained
+    if (!handle_frame(pipeline, header, payload)) break;
+    if (stopping_.load(std::memory_order_acquire)) break;  // drained
+  }
+
+  // No more slots will arrive; the writer flushes what is queued and exits.
+  {
+    MutexLock lock(pipeline.mutex);
+    pipeline.reader_done = true;
+  }
+  pipeline.slot_ready.notify_all();
+  writer.join();
+}
+
+void NetServer::writer_loop(ByteStream& stream, Pipeline& pipeline) {
+  for (;;) {
+    ResponseSlot slot;
+    {
+      UniqueMutexLock lock(pipeline.mutex);
+      while (pipeline.queue.empty() && !pipeline.reader_done)
+        pipeline.slot_ready.wait(lock);
+      if (pipeline.queue.empty()) return;  // reader done and fully drained
+      slot = std::move(pipeline.queue.front());
+      pipeline.queue.pop_front();
+    }
+    pipeline.slot_free.notify_one();
+
+    if (slot.is_eval) {
+      // Resolve this slot's futures now, in queue position: responses
+      // leave in request order no matter how batches were scheduled.
+      EvalResponse resp;
+      resp.id = slot.id;
+      resp.results.reserve(slot.futures.size());
+      for (auto& f : slot.futures) {
+        const serve::EvalResult r = f.get();
+        resp.results.push_back({static_cast<std::uint8_t>(r.status), r.value});
+      }
+      slot.frame = encode_eval_response(resp);
+    }
+    if (!send(stream, slot.frame)) {
+      // The stream is dead. Unblock the reader and drop everything still
+      // queued — the futures inside resolve into discarded promises.
+      {
+        MutexLock lock(pipeline.mutex);
+        pipeline.aborted = true;
+        pipeline.queue.clear();
+        pipeline.inflight = 0;
+      }
+      pipeline.slot_free.notify_all();
+      stream.shutdown();  // wake a reader blocked mid-read
+      return;
+    }
+    {
+      MutexLock lock(pipeline.mutex);
+      --pipeline.inflight;
+    }
+    if (slot.is_error)
+      counters_.error_frames_sent.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-bool NetServer::handle_frame(ByteStream& stream, const FrameHeader& header,
+bool NetServer::enqueue(Pipeline& pipeline, ResponseSlot slot) {
+  std::size_t outstanding;
+  {
+    UniqueMutexLock lock(pipeline.mutex);
+    while (!pipeline.aborted &&
+           pipeline.queue.size() >= opts_.max_in_flight)
+      pipeline.slot_free.wait(lock);
+    if (pipeline.aborted) return false;
+    outstanding = pipeline.inflight;
+    ++pipeline.inflight;
+    pipeline.queue.push_back(std::move(slot));
+  }
+  pipeline.slot_ready.notify_one();
+  if (outstanding > 0)
+    counters_.pipelined_frames.fetch_add(1, std::memory_order_relaxed);
+  update_max(counters_.frames_in_flight_peak, outstanding + 1);
+  return true;
+}
+
+NetServer::ResponseSlot NetServer::error_slot(std::uint64_t id,
+                                              WireError code) {
+  ErrorFrame err;
+  err.id = id;
+  err.code = static_cast<std::uint32_t>(code);
+  err.message = to_string(code);
+  ResponseSlot slot;
+  slot.is_error = true;
+  slot.id = id;
+  slot.frame = encode_error(err);
+  return slot;
+}
+
+bool NetServer::handle_frame(Pipeline& pipeline, const FrameHeader& header,
                              std::span<const std::uint8_t> payload) {
   switch (header.type) {
     case MsgType::kEvalRequest: {
@@ -185,7 +294,7 @@ bool NetServer::handle_frame(ByteStream& stream, const FrameHeader& header,
       const WireError err = decode_eval_request(payload, req, opts_.limits);
       if (err != WireError::kNone) {
         counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-        if (!send_error(stream, req.id, err)) return false;
+        if (!enqueue(pipeline, error_slot(req.id, err))) return false;
         return !closes_connection(err);
       }
       counters_.frames_decoded.fetch_add(1, std::memory_order_relaxed);
@@ -201,26 +310,22 @@ bool NetServer::handle_frame(ByteStream& stream, const FrameHeader& header,
         deadline = serve::EvalService::Clock::now() +
                    std::chrono::microseconds(req.deadline_us);
 
-      std::vector<std::future<serve::EvalResult>> futures;
-      futures.reserve(req.points.size());
+      // Submit now, respond later: the reader moves on to the next frame
+      // while the writer waits for these futures in queue order.
+      ResponseSlot slot;
+      slot.is_eval = true;
+      slot.id = req.id;
+      slot.futures.reserve(req.points.size());
       for (CoordVector& p : req.points)
-        futures.push_back(service_.submit(req.grid, std::move(p), deadline));
-
-      EvalResponse resp;
-      resp.id = req.id;
-      resp.results.reserve(futures.size());
-      for (auto& f : futures) {
-        const serve::EvalResult r = f.get();
-        resp.results.push_back(
-            {static_cast<std::uint8_t>(r.status), r.value});
-      }
-      return send(stream, encode_eval_response(resp));
+        slot.futures.push_back(
+            service_.submit(req.grid, std::move(p), deadline));
+      return enqueue(pipeline, std::move(slot));
     }
 
     case MsgType::kListRequest: {
       if (!payload.empty()) {
         counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-        return send_error(stream, 0, WireError::kBadPayload);
+        return enqueue(pipeline, error_slot(0, WireError::kBadPayload));
       }
       counters_.frames_decoded.fetch_add(1, std::memory_order_relaxed);
       counters_.list_requests.fetch_add(1, std::memory_order_relaxed);
@@ -236,13 +341,15 @@ bool NetServer::handle_frame(ByteStream& stream, const FrameHeader& header,
         info.memory_bytes = entry->memory_bytes();
         resp.grids.push_back(std::move(info));
       }
-      return send(stream, encode_list_response(resp));
+      ResponseSlot slot;
+      slot.frame = encode_list_response(resp);
+      return enqueue(pipeline, std::move(slot));
     }
 
     case MsgType::kStatsRequest: {
       if (!payload.empty()) {
         counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-        return send_error(stream, 0, WireError::kBadPayload);
+        return enqueue(pipeline, error_slot(0, WireError::kBadPayload));
       }
       counters_.frames_decoded.fetch_add(1, std::memory_order_relaxed);
       counters_.stats_requests.fetch_add(1, std::memory_order_relaxed);
@@ -265,14 +372,21 @@ bool NetServer::handle_frame(ByteStream& stream, const FrameHeader& header,
       out.frames_rejected = ns.frames_rejected;
       out.eval_requests = ns.eval_requests;
       out.eval_points = ns.eval_points;
-      return send(stream, encode_stats_response(out));
+      out.frames_in_flight_peak = ns.frames_in_flight_peak;
+      out.pipelined_frames = ns.pipelined_frames;
+      out.shards.reserve(sv.shards.size());
+      for (const auto& sh : sv.shards)
+        out.shards.push_back({sh.submits, sh.rejections, sh.max_queue_depth});
+      ResponseSlot slot;
+      slot.frame = encode_stats_response(out);
+      return enqueue(pipeline, std::move(slot));
     }
 
     default:
       // Well-formed header carrying a message only a client should send
       // (responses, errors): framing is intact, reject and continue.
       counters_.frames_rejected.fetch_add(1, std::memory_order_relaxed);
-      return send_error(stream, 0, WireError::kBadType);
+      return enqueue(pipeline, error_slot(0, WireError::kBadType));
   }
 }
 

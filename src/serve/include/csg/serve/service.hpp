@@ -4,12 +4,21 @@
 // Point queries arrive one at a time (submit() returns a future); workers
 // coalesce queued queries *per grid* into batches and run each batch
 // through the plan-based blocked evaluation (Sec. 4.3 blocking,
-// parallel::omp_evaluate_many_blocked on the entry's pinned plan). The
+// parallel::omp_evaluate_many_blocked on the entry's pinned plan).
+//
+// The service is sharded by grid: shard_hash(name) % shard_count picks a
+// shard, and every shard owns its own bounded queue, worker set, batch
+// coalescer, overflow policy, and deadline shedding. Independent grids
+// therefore make progress independently — a hot grid saturates only its
+// shard's queue while the other shards keep serving (the same argument the
+// paper's compact layout makes for component grids at the data-structure
+// level). All requests for one grid land in one shard, so batching still
+// coalesces per grid and single-grid accounting stays exact. The
 // lifecycle discipline a production server needs is explicit:
 //
-//  * bounded submission queue — at most queue_capacity requests wait;
-//    overflow either rejects immediately (kReject, load shedding) or
-//    blocks the producer (kBlock, backpressure),
+//  * bounded submission queues — at most queue_capacity requests wait
+//    *per shard*; overflow either rejects immediately (kReject, load
+//    shedding) or blocks the producer (kBlock, backpressure),
 //  * batching window — a worker that finds fewer than max_batch_points
 //    queued for its grid waits up to batch_window for stragglers before
 //    evaluating, trading a bounded latency bump for larger batches,
@@ -35,6 +44,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -65,15 +75,23 @@ enum class OverflowPolicy : std::uint8_t {
   kBlock,   ///< block the producer until space frees (backpressure)
 };
 
+/// Stable grid-name → shard mapping: FNV-1a over the name bytes, 64-bit
+/// throughout so the mapping is identical across builds and platforms.
+/// Public so tests and benchmarks can predict (or construct) placements.
+std::uint64_t shard_hash(std::string_view name);
+
 struct ServiceOptions {
-  /// Upper bound on queued (not yet batched) requests.
+  /// Number of independent shards (queue + worker set each). Zero derives
+  /// the count from std::thread::hardware_concurrency (clamped to [1, 8]).
+  std::size_t shard_count = 0;
+  /// Upper bound on queued (not yet batched) requests, per shard.
   std::size_t queue_capacity = 1024;
   /// A batch never holds more points than this.
   std::size_t max_batch_points = 256;
   /// How long a worker waits for a partial batch to fill. Zero: batches
   /// are formed from whatever is queued at pop time.
   std::chrono::microseconds batch_window{200};
-  /// Worker threads forming and running batches.
+  /// Worker threads forming and running batches, per shard.
   int workers = 2;
   /// OpenMP threads inside one batch evaluation (omp_evaluate_many_blocked).
   int eval_threads = 1;
@@ -106,6 +124,14 @@ struct ServiceStats {
   std::uint64_t batches_formed = 0;  ///< batches with >= 1 evaluated point
   std::uint64_t batched_points = 0;  ///< points evaluated through batches
   std::uint64_t max_batch = 0;       ///< largest batch evaluated
+
+  /// Per-shard counters; `shards.size()` is the configured shard count.
+  struct ShardStats {
+    std::uint64_t submits = 0;     ///< requests routed to this shard
+    std::uint64_t rejections = 0;  ///< queue-full + post-stop rejections here
+    std::uint64_t max_queue_depth = 0;  ///< high-water queue occupancy
+  };
+  std::vector<ShardStats> shards;
 
   double mean_batch() const {
     return batches_formed == 0
@@ -147,12 +173,21 @@ class EvalService {
 
   bool running() const;
 
-  /// Requests queued and not yet claimed by a batch.
+  /// Requests queued and not yet claimed by a batch, summed over shards.
   std::size_t pending() const;
 
   ServiceStats stats() const;
 
   const ServiceOptions& options() const { return opts_; }
+
+  /// Number of shards this instance runs (>= 1, fixed at construction).
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The shard index grid `name` maps to: shard_hash(name) % shard_count().
+  std::size_t shard_of(std::string_view name) const {
+    return static_cast<std::size_t>(shard_hash(name) %
+                                    static_cast<std::uint64_t>(shards_.size()));
+  }
 
  private:
   struct Request {
@@ -162,15 +197,35 @@ class EvalService {
     std::promise<EvalResult> promise;
   };
 
-  void worker_loop();
+  /// One independent slice of the service: its own bounded queue, worker
+  /// set, lifecycle flags, and counters. Fixed in number at construction,
+  /// so the shards_ vector itself needs no lock.
+  struct Shard {
+    mutable Mutex mutex;
+    CondVar not_empty;
+    CondVar not_full;
+    std::deque<Request> queue CSG_GUARDED_BY(mutex);
+    /// Workers exit once the queue drains.
+    bool stopping CSG_GUARDED_BY(mutex) = false;
+    /// Terminal: submits reject, start() is a no-op.
+    bool stopped CSG_GUARDED_BY(mutex) = false;
+    std::vector<std::thread> workers CSG_GUARDED_BY(mutex);
+
+    std::atomic<std::uint64_t> submits{0};
+    std::atomic<std::uint64_t> rejections{0};
+    std::atomic<std::uint64_t> max_queue_depth{0};
+  };
+
+  void worker_loop(Shard& shard);
   /// Move queued requests for `entry` into `batch`, up to max_batch_points
   /// total.
-  void collect_locked(const GridEntry* entry, std::vector<Request>& batch)
-      CSG_REQUIRES(mutex_);
+  void collect_locked(Shard& shard, const GridEntry* entry,
+                      std::vector<Request>& batch) CSG_REQUIRES(shard.mutex);
   /// True once a blocked producer may stop waiting: space freed, or the
   /// service is shutting down.
-  bool submit_unblocked() const CSG_REQUIRES(mutex_) {
-    return stopping_ || stopped_ || queue_.size() < opts_.queue_capacity;
+  bool submit_unblocked(const Shard& shard) const CSG_REQUIRES(shard.mutex) {
+    return shard.stopping || shard.stopped ||
+           shard.queue.size() < opts_.queue_capacity;
   }
   void run_batch(std::vector<Request> batch);
 
@@ -179,15 +234,8 @@ class EvalService {
   const GridRegistry& registry_;
   const ServiceOptions opts_;
 
-  mutable Mutex mutex_;
-  CondVar not_empty_;
-  CondVar not_full_;
-  std::deque<Request> queue_ CSG_GUARDED_BY(mutex_);
-  /// Workers exit once the queue drains.
-  bool stopping_ CSG_GUARDED_BY(mutex_) = false;
-  /// Terminal: submits reject, start() is a no-op.
-  bool stopped_ CSG_GUARDED_BY(mutex_) = false;
-  std::vector<std::thread> workers_ CSG_GUARDED_BY(mutex_);
+  /// Immutable after construction (the Shard objects inside are not).
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   struct Counters {
     std::atomic<std::uint64_t> submitted{0};

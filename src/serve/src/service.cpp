@@ -10,7 +10,7 @@ namespace csg::serve {
 
 namespace {
 
-/// Atomic max for the max_batch counter.
+/// Atomic max for the max_batch / max_queue_depth counters.
 void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t candidate) {
   std::uint64_t seen = slot.load(std::memory_order_relaxed);
   while (candidate > seen &&
@@ -24,6 +24,11 @@ bool valid_point(const GridEntry& entry, const CoordVector& point) {
   for (dim_t t = 0; t < point.size(); ++t)
     if (!(point[t] >= 0 && point[t] <= 1)) return false;  // also rejects NaN
   return true;
+}
+
+std::size_t default_shard_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw, 1, 8);
 }
 
 }  // namespace
@@ -46,6 +51,18 @@ const char* to_string(Status s) {
   return "unknown";
 }
 
+std::uint64_t shard_hash(std::string_view name) {
+  // FNV-1a, 64-bit end to end: the offset basis and prime are the
+  // standard constants, and the accumulator never narrows, so the same
+  // name picks the same shard on every platform.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 EvalService::EvalService(const GridRegistry& registry, ServiceOptions opts)
     : registry_(registry), opts_(opts) {
   CSG_EXPECTS(opts_.queue_capacity >= 1);
@@ -53,6 +70,11 @@ EvalService::EvalService(const GridRegistry& registry, ServiceOptions opts)
   CSG_EXPECTS(opts_.workers >= 1);
   CSG_EXPECTS(opts_.eval_threads >= 1);
   CSG_EXPECTS(opts_.block_size >= 1);
+  const std::size_t count =
+      opts_.shard_count > 0 ? opts_.shard_count : default_shard_count();
+  shards_.reserve(count);
+  for (std::size_t s = 0; s < count; ++s)
+    shards_.push_back(std::make_unique<Shard>());
   if (!opts_.start_paused) start();
 }
 
@@ -102,17 +124,21 @@ std::future<EvalResult> EvalService::submit(const std::string& name,
   req.deadline = deadline;
   std::future<EvalResult> future = req.promise.get_future();
 
-  UniqueMutexLock lock(mutex_);
-  if (stopped_ || stopping_) {
+  Shard& shard = *shards_[shard_of(name)];
+  shard.submits.fetch_add(1, std::memory_order_relaxed);
+  UniqueMutexLock lock(shard.mutex);
+  if (shard.stopped || shard.stopping) {
     lock.unlock();
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    shard.rejections.fetch_add(1, std::memory_order_relaxed);
     req.promise.set_value({Status::kRejected, 0});
     return future;
   }
-  if (queue_.size() >= opts_.queue_capacity) {
+  if (shard.queue.size() >= opts_.queue_capacity) {
     if (opts_.overflow == OverflowPolicy::kReject) {
       lock.unlock();
       counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      shard.rejections.fetch_add(1, std::memory_order_relaxed);
       req.promise.set_value({Status::kRejected, 0});
       return future;
     }
@@ -121,13 +147,13 @@ std::future<EvalResult> EvalService::submit(const std::string& name,
     // loops are spelled out so the guarded reads in the conditions are
     // checked against the held lock (see CondVar in thread_annotations.hpp).
     if (req.deadline == kNoDeadline) {
-      while (!submit_unblocked()) not_full_.wait(lock);
+      while (!submit_unblocked(shard)) shard.not_full.wait(lock);
     } else {
       bool unblocked = true;
-      while (!(unblocked = submit_unblocked())) {
-        if (not_full_.wait_until(lock, req.deadline) ==
+      while (!(unblocked = submit_unblocked(shard))) {
+        if (shard.not_full.wait_until(lock, req.deadline) ==
             std::cv_status::timeout) {
-          unblocked = submit_unblocked();
+          unblocked = submit_unblocked(shard);
           break;
         }
       }
@@ -138,69 +164,95 @@ std::future<EvalResult> EvalService::submit(const std::string& name,
         return future;
       }
     }
-    if (stopping_ || stopped_) {
+    if (shard.stopping || shard.stopped) {
       lock.unlock();
       counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      shard.rejections.fetch_add(1, std::memory_order_relaxed);
       req.promise.set_value({Status::kRejected, 0});
       return future;
     }
   }
-  queue_.push_back(std::move(req));
+  shard.queue.push_back(std::move(req));
+  const auto depth = shard.queue.size();
   lock.unlock();
-  not_empty_.notify_one();
+  update_max(shard.max_queue_depth, depth);
+  shard.not_empty.notify_one();
   return future;
 }
 
 void EvalService::start() {
-  MutexLock lock(mutex_);
-  if (stopped_ || !workers_.empty()) return;
-  workers_.reserve(static_cast<std::size_t>(opts_.workers));
-  for (int w = 0; w < opts_.workers; ++w)
-    workers_.emplace_back([this] { worker_loop(); });
+  for (const auto& sp : shards_) {
+    Shard& shard = *sp;
+    MutexLock lock(shard.mutex);
+    if (shard.stopped || !shard.workers.empty()) continue;
+    shard.workers.reserve(static_cast<std::size_t>(opts_.workers));
+    for (int w = 0; w < opts_.workers; ++w)
+      shard.workers.emplace_back([this, &shard] { worker_loop(shard); });
+  }
 }
 
 void EvalService::stop(bool drain) {
+  // Pass 1: flip every shard to stopping (cancelling queued work when not
+  // draining) and collect the worker threads; then join them all outside
+  // any lock so shards wind down in parallel.
   std::vector<std::thread> workers;
-  {
-    MutexLock lock(mutex_);
-    if (stopped_) return;
+  for (const auto& sp : shards_) {
+    Shard& shard = *sp;
+    MutexLock lock(shard.mutex);
+    if (shard.stopped) continue;
     if (!drain) {
       // Fail everything still queued; nothing new can arrive once
-      // stopping_ is visible.
-      for (Request& req : queue_) {
+      // stopping is visible.
+      for (Request& req : shard.queue) {
         counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
         req.promise.set_value({Status::kCancelled, 0});
       }
-      queue_.clear();
+      shard.queue.clear();
     }
-    stopping_ = true;
-    workers.swap(workers_);
+    shard.stopping = true;
+    for (std::thread& t : shard.workers) workers.push_back(std::move(t));
+    shard.workers.clear();
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  for (const auto& sp : shards_) {
+    sp->not_empty.notify_all();
+    sp->not_full.notify_all();
+  }
   for (std::thread& t : workers) t.join();
-  MutexLock lock(mutex_);
-  // A paused service that was never started drains here: without workers
-  // the queued requests would otherwise leak as broken promises.
-  for (Request& req : queue_) {
-    if (drain) {
-      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
-      req.promise.set_value({Status::kCancelled, 0});
+  // Pass 2: a paused service that was never started drains here — without
+  // workers the queued requests would otherwise leak as broken promises.
+  for (const auto& sp : shards_) {
+    Shard& shard = *sp;
+    MutexLock lock(shard.mutex);
+    if (shard.stopped) continue;
+    for (Request& req : shard.queue) {
+      if (drain) {
+        counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        req.promise.set_value({Status::kCancelled, 0});
+      }
     }
+    shard.queue.clear();
+    shard.stopping = false;
+    shard.stopped = true;
   }
-  queue_.clear();
-  stopping_ = false;
-  stopped_ = true;
 }
 
 bool EvalService::running() const {
-  MutexLock lock(mutex_);
-  return !workers_.empty() && !stopped_;
+  for (const auto& sp : shards_) {
+    const Shard& shard = *sp;
+    MutexLock lock(shard.mutex);
+    if (!shard.workers.empty() && !shard.stopped) return true;
+  }
+  return false;
 }
 
 std::size_t EvalService::pending() const {
-  MutexLock lock(mutex_);
-  return queue_.size();
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    const Shard& shard = *sp;
+    MutexLock lock(shard.mutex);
+    total += shard.queue.size();
+  }
+  return total;
 }
 
 ServiceStats EvalService::stats() const {
@@ -217,50 +269,59 @@ ServiceStats EvalService::stats() const {
   s.batches_formed = counters_.batches_formed.load(std::memory_order_relaxed);
   s.batched_points = counters_.batched_points.load(std::memory_order_relaxed);
   s.max_batch = counters_.max_batch.load(std::memory_order_relaxed);
+  s.shards.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    ServiceStats::ShardStats sh;
+    sh.submits = sp->submits.load(std::memory_order_relaxed);
+    sh.rejections = sp->rejections.load(std::memory_order_relaxed);
+    sh.max_queue_depth = sp->max_queue_depth.load(std::memory_order_relaxed);
+    s.shards.push_back(sh);
+  }
   return s;
 }
 
-void EvalService::collect_locked(const GridEntry* entry,
+void EvalService::collect_locked(Shard& shard, const GridEntry* entry,
                                  std::vector<Request>& batch) {
-  for (auto it = queue_.begin();
-       it != queue_.end() && batch.size() < opts_.max_batch_points;) {
+  for (auto it = shard.queue.begin();
+       it != shard.queue.end() && batch.size() < opts_.max_batch_points;) {
     if (it->entry.get() == entry) {
       batch.push_back(std::move(*it));
-      it = queue_.erase(it);
+      it = shard.queue.erase(it);
     } else {
       ++it;
     }
   }
 }
 
-void EvalService::worker_loop() {
+void EvalService::worker_loop(Shard& shard) {
   for (;;) {
-    UniqueMutexLock lock(mutex_);
-    while (!stopping_ && queue_.empty()) not_empty_.wait(lock);
-    if (queue_.empty()) return;  // stopping and fully drained
+    UniqueMutexLock lock(shard.mutex);
+    while (!shard.stopping && shard.queue.empty()) shard.not_empty.wait(lock);
+    if (shard.queue.empty()) return;  // stopping and fully drained
 
     // Seed the batch with the oldest request's grid, then sweep the queue
     // for that grid's other requests.
-    const GridEntry* entry = queue_.front().entry.get();
+    const GridEntry* entry = shard.queue.front().entry.get();
     std::vector<Request> batch;
-    batch.reserve(std::min(opts_.max_batch_points, queue_.size()));
-    collect_locked(entry, batch);
+    batch.reserve(std::min(opts_.max_batch_points, shard.queue.size()));
+    collect_locked(shard, entry, batch);
 
     if (batch.size() < opts_.max_batch_points &&
-        opts_.batch_window.count() > 0 && !stopping_) {
+        opts_.batch_window.count() > 0 && !shard.stopping) {
       // Partial batch: wait (bounded) for stragglers of the same grid.
       const auto until = Clock::now() + opts_.batch_window;
-      while (batch.size() < opts_.max_batch_points && !stopping_) {
-        if (not_empty_.wait_until(lock, until) == std::cv_status::timeout) {
-          collect_locked(entry, batch);
+      while (batch.size() < opts_.max_batch_points && !shard.stopping) {
+        if (shard.not_empty.wait_until(lock, until) ==
+            std::cv_status::timeout) {
+          collect_locked(shard, entry, batch);
           break;
         }
-        collect_locked(entry, batch);
+        collect_locked(shard, entry, batch);
       }
     }
     lock.unlock();
     // Space freed for blocked producers regardless of batch outcome.
-    not_full_.notify_all();
+    shard.not_full.notify_all();
     run_batch(std::move(batch));
   }
 }
@@ -291,13 +352,15 @@ void EvalService::run_batch(std::vector<Request> batch) {
   const std::vector<real_t> values = parallel::omp_evaluate_many_blocked(
       *entry.plan, coeffs, points, opts_.block_size, opts_.eval_threads);
 
+  // Account the batch before fulfilling any promise: a caller that joins
+  // the futures and then reads stats() must see this batch counted.
+  counters_.batches_formed.fetch_add(1, std::memory_order_relaxed);
+  counters_.batched_points.fetch_add(live.size(), std::memory_order_relaxed);
+  update_max(counters_.max_batch, live.size());
   for (std::size_t k = 0; k < live.size(); ++k) {
     counters_.completed.fetch_add(1, std::memory_order_relaxed);
     live[k].promise.set_value({Status::kOk, values[k]});
   }
-  counters_.batches_formed.fetch_add(1, std::memory_order_relaxed);
-  counters_.batched_points.fetch_add(live.size(), std::memory_order_relaxed);
-  update_max(counters_.max_batch, live.size());
 }
 
 }  // namespace csg::serve

@@ -1,0 +1,23 @@
+// csg-lint fixture: implicit-narrowing must flag shard_hash() truncation.
+// shard_hash() is the 64-bit FNV-1a over the grid name that picks the
+// EvalService shard; stuffing it into a 32-bit level_t/dim_t silently
+// drops the high bits and skews the grid -> shard distribution. The only
+// sound narrowings are `% shard_count` (already in range) or an explicit
+// static_cast that survives review.
+#include <cstdint>
+#include <string_view>
+
+using level_t = std::uint32_t;
+using dim_t = std::uint32_t;
+
+std::uint64_t shard_hash(std::string_view name);
+
+void f(std::string_view name) {
+  level_t h = shard_hash(name);  // BAD: high 32 bits of the hash vanish
+  dim_t shard = shard_hash(name);  // BAD: same truncation, different alias
+  level_t ok =
+      static_cast<level_t>(shard_hash(name) % 8);  // GOOD: explicit + ranged
+  (void)h;
+  (void)shard;
+  (void)ok;
+}

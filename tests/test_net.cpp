@@ -217,6 +217,9 @@ TEST(NetCodec, ListStatsAndErrorRoundTrip) {
   stats_in.completed = 2;
   stats_in.shed_at_admission = 8;
   stats_in.eval_points = 16;
+  stats_in.frames_in_flight_peak = 4;
+  stats_in.pipelined_frames = 21;
+  stats_in.shards = {{100, 5, 17}, {200, 0, 9}};
   const auto stats_frame = encode_stats_response(stats_in);
   WireStats stats_out;
   ASSERT_EQ(decode_stats_response(
@@ -226,6 +229,14 @@ TEST(NetCodec, ListStatsAndErrorRoundTrip) {
   EXPECT_EQ(stats_out.completed, 2u);
   EXPECT_EQ(stats_out.shed_at_admission, 8u);
   EXPECT_EQ(stats_out.eval_points, 16u);
+  EXPECT_EQ(stats_out.frames_in_flight_peak, 4u);
+  EXPECT_EQ(stats_out.pipelined_frames, 21u);
+  ASSERT_EQ(stats_out.shards.size(), 2u);
+  EXPECT_EQ(stats_out.shards[0].submits, 100u);
+  EXPECT_EQ(stats_out.shards[0].rejections, 5u);
+  EXPECT_EQ(stats_out.shards[0].max_queue_depth, 17u);
+  EXPECT_EQ(stats_out.shards[1].submits, 200u);
+  EXPECT_EQ(stats_out.shards[1].max_queue_depth, 9u);
 
   ErrorFrame err_in;
   err_in.id = 9;
@@ -245,12 +256,16 @@ TEST(NetCodec, ListStatsAndErrorRoundTrip) {
 TEST(NetCodec, StatsDecoderSkipsFieldsAppendedByNewerPeers) {
   WireStats in;
   in.max_batch = 31;
+  in.pipelined_frames = 7;
+  in.shards = {{3, 1, 2}};
   auto frame = encode_stats_response(in);
   // Append two future fields and fix up the field count + payload length.
   const std::uint64_t extra[2] = {111, 222};
   frame.insert(frame.end(), reinterpret_cast<const std::uint8_t*>(extra),
                reinterpret_cast<const std::uint8_t*>(extra) + sizeof(extra));
-  const std::uint32_t fields = kStatsFieldCount + 2;
+  std::uint32_t fields = 0;
+  std::memcpy(&fields, frame.data() + kFrameHeaderBytes, sizeof(fields));
+  fields += 2;
   std::memcpy(frame.data() + kFrameHeaderBytes, &fields, sizeof(fields));
   const std::uint64_t payload = frame.size() - kFrameHeaderBytes;
   std::memcpy(frame.data() + kFrameHeaderBytes - sizeof(payload), &payload,
@@ -261,6 +276,45 @@ TEST(NetCodec, StatsDecoderSkipsFieldsAppendedByNewerPeers) {
                 std::span(frame).subspan(kFrameHeaderBytes), out),
             WireError::kNone);
   EXPECT_EQ(out.max_batch, 31u);
+  EXPECT_EQ(out.pipelined_frames, 7u);
+  ASSERT_EQ(out.shards.size(), 1u);
+  EXPECT_EQ(out.shards[0].max_queue_depth, 2u);
+}
+
+TEST(NetCodec, StatsDecoderHandlesLegacyAndBrokenShardSections) {
+  // A v1 frame (exactly 16 fields, no appended section): the decoder must
+  // accept it and leave the appended fields at their defaults.
+  WireStats in;
+  in.submitted = 5;
+  in.shards = {{1, 2, 3}};
+  auto frame = encode_stats_response(in);
+  const std::uint32_t legacy_fields = kStatsFieldCount;
+  std::memcpy(frame.data() + kFrameHeaderBytes, &legacy_fields,
+              sizeof(legacy_fields));
+  frame.resize(kFrameHeaderBytes + sizeof(std::uint32_t) +
+               kStatsFieldCount * sizeof(std::uint64_t));
+  std::uint64_t payload = frame.size() - kFrameHeaderBytes;
+  std::memcpy(frame.data() + kFrameHeaderBytes - sizeof(payload), &payload,
+              sizeof(payload));
+  WireStats out;
+  ASSERT_EQ(decode_stats_response(
+                std::span(frame).subspan(kFrameHeaderBytes), out),
+            WireError::kNone);
+  EXPECT_EQ(out.submitted, 5u);
+  EXPECT_EQ(out.frames_in_flight_peak, 0u);
+  EXPECT_TRUE(out.shards.empty());
+
+  // A shard count claiming more triples than the declared field count
+  // carries is structurally broken, not a spin or an overread.
+  auto bad = encode_stats_response(in);
+  const std::uint64_t huge = ~std::uint64_t{0};
+  const std::size_t count_at = kFrameHeaderBytes + sizeof(std::uint32_t) +
+                               (kStatsFieldCount + 2) * sizeof(std::uint64_t);
+  std::memcpy(bad.data() + count_at, &huge, sizeof(huge));
+  WireStats bad_out;
+  EXPECT_EQ(decode_stats_response(
+                std::span(bad).subspan(kFrameHeaderBytes), bad_out),
+            WireError::kBadPayload);
 }
 
 // --------------------------------------------------------------------------
@@ -305,6 +359,9 @@ std::vector<GoldenFixture> golden_fixtures() {
   stats.frames_rejected = 14;
   stats.eval_requests = 15;
   stats.eval_points = 16;
+  stats.frames_in_flight_peak = 17;
+  stats.pipelined_frames = 18;
+  stats.shards = {{19, 20, 21}, {22, 23, 24}};
 
   ErrorFrame err;
   err.id = 9;
@@ -907,6 +964,105 @@ TEST(NetE2E, CorruptFrameBatteryNeverCrashesTheServer) {
   // The battery's own ledger agrees with the server's counter.
   EXPECT_EQ(stack.server->stats().frames_rejected, expected_rejected);
   EXPECT_EQ(stack.server->stats().eval_requests, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Pipelined connections
+// --------------------------------------------------------------------------
+
+TEST(NetPipeline, ResponsesArriveInRequestOrderWhenEarlierBatchesAreSlower) {
+  // The first request is a 64-point batch on g1, the next two are single
+  // points on g0: if ordering depended on completion, the small batches
+  // would overtake the big one. Submitting against a *paused* service
+  // guarantees all three frames are admitted while zero responses have
+  // been written, so the pipelining counters are exact.
+  serve::ServiceOptions sopts;
+  sopts.start_paused = true;
+  LoopbackStack stack({}, sopts);
+  const auto e0 = stack.registry.find("g0");
+  const auto e1 = stack.registry.find("g1");
+  NetClient client = stack.client();
+
+  const auto big = workloads::uniform_points(3, 64, 43);
+  const auto small = workloads::uniform_points(2, 1, 44);
+  const std::uint64_t id_a = client.submit_eval("g1", big);
+  const std::uint64_t id_b = client.submit_eval("g0", small);
+  const std::uint64_t id_c = client.submit_eval("g0", small);
+  EXPECT_EQ(client.outstanding(), 3u);
+
+  // Blocking calls must refuse to interleave with pipelined traffic.
+  EXPECT_THROW((void)client.list_grids(), std::runtime_error);
+
+  ASSERT_TRUE(eventually(
+      [&] { return stack.server->stats().eval_requests >= 3; }));
+  stack.service->start();
+
+  // collect() itself throws on any id or point-count mismatch; check the
+  // ids explicitly anyway, plus bit-identical values.
+  const EvalResponse ra = client.collect();
+  EXPECT_EQ(ra.id, id_a);
+  ASSERT_EQ(ra.results.size(), big.size());
+  for (std::size_t k = 0; k < big.size(); ++k)
+    EXPECT_EQ(ra.results[k].value, evaluate(e1->storage, big[k])) << k;
+  const EvalResponse rb = client.collect();
+  EXPECT_EQ(rb.id, id_b);
+  ASSERT_EQ(rb.results.size(), 1u);
+  EXPECT_EQ(rb.results[0].value, evaluate(e0->storage, small[0]));
+  const EvalResponse rc = client.collect();
+  EXPECT_EQ(rc.id, id_c);
+  EXPECT_EQ(client.outstanding(), 0u);
+
+  // Frames 2 and 3 were admitted while response 1 was still pending.
+  const NetServerStats ns = stack.server->stats();
+  EXPECT_EQ(ns.pipelined_frames, 2u);
+  EXPECT_EQ(ns.frames_in_flight_peak, 3u);
+}
+
+TEST(NetPipeline, ReaderExitDrainsEveryQueuedResponseInOrder) {
+  // Four pipelined evals followed by a corrupted header: the reader stops
+  // at the corruption, but the writer must still flush all four queued
+  // responses (in request order) plus the final error frame before the
+  // connection closes — pipelining must not turn a reader exit into
+  // dropped responses.
+  serve::ServiceOptions sopts;
+  sopts.start_paused = true;
+  LoopbackStack stack({}, sopts);
+  auto raw = stack.listener.connect();
+
+  const auto pts = workloads::uniform_points(2, 3, 45);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    EvalRequest req;
+    req.id = id;
+    req.grid = "g0";
+    req.points = pts;
+    const auto frame = encode_eval_request(req);
+    ASSERT_TRUE(raw->write_all(frame.data(), frame.size()));
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return stack.server->stats().eval_requests >= 4; }));
+  auto bad = valid_header(MsgType::kEvalRequest, 0);
+  bad[0] ^= 0x20;  // corrupt the magic: a header-level close
+  ASSERT_TRUE(raw->write_all(bad.data(), bad.size()));
+
+  // Nothing can flush until the service runs.
+  stack.service->start();
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    const auto frame = read_frame(*raw);
+    ASSERT_TRUE(frame.has_value()) << "response " << id << " was dropped";
+    ASSERT_EQ(frame->header.type, MsgType::kEvalResponse);
+    EvalResponse resp;
+    ASSERT_EQ(decode_eval_response(frame->payload, resp, {}),
+              WireError::kNone);
+    EXPECT_EQ(resp.id, id);
+    ASSERT_EQ(resp.results.size(), pts.size());
+  }
+  const auto err_frame = read_frame(*raw);
+  ASSERT_TRUE(err_frame.has_value());
+  ASSERT_EQ(err_frame->header.type, MsgType::kError);
+  ErrorFrame err;
+  ASSERT_EQ(decode_error(err_frame->payload, err, {}), WireError::kNone);
+  EXPECT_EQ(static_cast<WireError>(err.code), WireError::kBadMagic);
+  EXPECT_FALSE(read_frame(*raw).has_value());  // then the connection closes
 }
 
 // --------------------------------------------------------------------------

@@ -29,7 +29,12 @@ Comparison model, per metric:
   default --fail-ratio 1.0 every regression is a failure.
 
 Exit codes: 0 clean (regressions may be listed as warnings when
---fail-ratio > 1), 1 failures or validation errors, 2 usage errors.
+--fail-ratio > 1), 1 failures or validation errors, 2 usage errors
+(including a baseline path that does not exist), 3 incomplete coverage —
+the baseline directory exists but holds no BENCH_*.json records, or a
+baseline record has no matching current record under ``--require-all``.
+Code 3 lets CI tell "the run regressed" (1) apart from "the run did not
+measure everything the baseline pins" (3).
 """
 
 from __future__ import annotations
@@ -132,6 +137,7 @@ class Comparison:
     def __init__(self) -> None:
         self.regressions: list[str] = []
         self.failures: list[str] = []
+        self.missing: list[str] = []
         self.improvements: list[str] = []
         self.notes: list[str] = []
         self.checked = 0
@@ -203,12 +209,20 @@ def collect_files(path: str) -> dict[str, str]:
 
 
 def run_compare(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.baseline):
+        print(f"bench_compare: baseline path '{args.baseline}' does not exist",
+              file=sys.stderr)
+        return 2
     base_files = collect_files(args.baseline)
     cur_files = collect_files(args.current)
     if not base_files:
-        print(f"bench_compare: no BENCH_*.json under {args.baseline}",
+        # The directory is there but pins nothing: coverage problem, not a
+        # usage error — an un-recorded baseline must not read as a pass.
+        print(f"bench_compare: baseline directory '{args.baseline}' exists "
+              "but contains no BENCH_*.json records — record a baseline "
+              "first (tools/run_benches.sh --out-dir <dir>)",
               file=sys.stderr)
-        return 2
+        return 3
 
     comparison = Comparison()
     validation_errors = []
@@ -218,7 +232,7 @@ def run_compare(args: argparse.Namespace) -> int:
         if cpath is None:
             msg = f"{name}: present in baseline, missing from current"
             if args.require_all:
-                comparison.failures.append(msg)
+                comparison.missing.append(msg)
             else:
                 comparison.notes.append(msg)
             continue
@@ -240,13 +254,23 @@ def run_compare(args: argparse.Namespace) -> int:
         print(f"WORSE    {reg}")
     for fail in comparison.failures:
         print(f"FAIL     {fail}")
+    for miss in comparison.missing:
+        print(f"MISSING  {miss}")
     print(f"bench_compare: {pairs} record pair(s), "
           f"{comparison.checked} gated metric(s), "
           f"{len(comparison.improvements)} better, "
           f"{len(comparison.regressions)} worse (within --fail-ratio), "
           f"{len(comparison.failures)} failed, "
+          f"{len(comparison.missing)} missing, "
           f"{len(validation_errors)} invalid")
-    return 1 if comparison.failures or validation_errors else 0
+    if comparison.failures or validation_errors:
+        return 1
+    if comparison.missing:
+        print("bench_compare: current run is missing baseline-pinned "
+              "record(s) (--require-all): incomplete coverage, not a pass",
+              file=sys.stderr)
+        return 3
+    return 0
 
 
 def run_validate(paths: list[str]) -> int:
@@ -375,10 +399,24 @@ def run_selftest() -> int:
         write(cur_dir, _synthetic_record(time_value=1.0, counter_value=100.0))
 
         # A record that loses a metric is noted; with --require-all a
-        # missing file fails.
+        # missing file is incomplete coverage: the distinct exit code 3.
         os.remove(os.path.join(cur_dir, "BENCH_bench_selftest.json"))
-        check("missing record fails under --require-all",
-              run_compare(ns) == 1)
+        check("missing record exits 3 under --require-all",
+              run_compare(ns) == 3)
+        write(cur_dir, _synthetic_record(time_value=1.0, counter_value=100.0))
+
+        # An existing-but-empty baseline directory is also exit 3 (nothing
+        # was pinned), while a nonexistent baseline path stays a usage
+        # error (exit 2).
+        empty_dir = os.path.join(tmp, "empty")
+        os.mkdir(empty_dir)
+        ns_empty = argparse.Namespace(baseline=empty_dir, current=cur_dir,
+                                      fail_ratio=2.0, require_all=True)
+        check("empty baseline directory exits 3", run_compare(ns_empty) == 3)
+        ns_gone = argparse.Namespace(
+            baseline=os.path.join(tmp, "nonexistent"), current=cur_dir,
+            fail_ratio=2.0, require_all=True)
+        check("nonexistent baseline path exits 2", run_compare(ns_gone) == 2)
 
         # Schema violations are caught.
         bad = _synthetic_record(time_value=1.0, counter_value=100.0)

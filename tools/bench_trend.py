@@ -1,0 +1,382 @@
+#!/usr/bin/env python3
+"""Trend analysis across a series of bench runs (docs/BENCHMARKS.md).
+
+    bench_trend.py RUN_DIR... [--out-md FILE] [--out-html FILE]
+                   [--fail-drift R] [--labels CSV]
+    bench_trend.py --selftest
+
+Each RUN_DIR holds the BENCH_*.json records of one suite run; pass the
+directories in chronological order (oldest first). The nightly perf-trend
+CI job feeds it the last N downloaded ``bench-paper-*`` artifacts plus the
+current run.
+
+What it looks for is *monotonic creep*: a metric that regresses a little
+every run — each step comfortably inside the per-run comparison band
+(tools/bench_compare.py gates single runs at ±100% via --fail-ratio 2.0) —
+but whose cumulative drift across the window is large. Per metric and
+record the representative value is the run's median (``median`` field for
+time metrics, ``value`` for counters); series are oriented by the metric's
+``better`` direction so a ratio > 1 is always worse.
+
+* cumulative drift = oriented(last) / oriented(first); > ``--fail-drift``
+  (default 2.0) is a DRIFT failure (exit 1), even when — especially when —
+  every single step stayed inside the per-run band;
+* a metric whose cumulative drift exceeds half the budget while every step
+  is inside it is flagged CREEP (reported, exit 0): tomorrow's DRIFT;
+* ``better: neutral`` metrics appear in the report but never gate.
+
+The markdown/HTML reports list every tracked metric with its series; CI
+uploads them as the trend-report artifact.
+
+Exit codes: 0 clean (fewer than two runs is a clean no-op), 1 drift
+failures, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import math
+import os
+import sys
+import tempfile
+
+FAIL_DRIFT_DEFAULT = 2.0
+
+
+def load_runs(run_dirs: list[str]) -> list[dict[str, dict]]:
+    """Per run dir: map benchmark name -> parsed record."""
+    runs = []
+    for d in run_dirs:
+        records = {}
+        for name in sorted(os.listdir(d)):
+            if not (name.startswith("BENCH_") and name.endswith(".json")):
+                continue
+            try:
+                with open(os.path.join(d, name), "r", encoding="utf-8") as fh:
+                    rec = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"bench_trend: skipping {os.path.join(d, name)}: {exc}",
+                      file=sys.stderr)
+                continue
+            if isinstance(rec, dict) and "benchmark" in rec:
+                records[rec["benchmark"]] = rec
+        runs.append(records)
+    return runs
+
+
+def representative(metric: dict) -> float | None:
+    """The run's representative value: median for time, value otherwise."""
+    value = metric.get("median", metric.get("value"))
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def collect_series(runs: list[dict[str, dict]]) -> list[dict]:
+    """One entry per (benchmark, metric) seen in the *latest* run."""
+    series = []
+    latest = runs[-1]
+    for bench in sorted(latest):
+        for metric in latest[bench].get("metrics", []):
+            name = metric.get("name")
+            if not isinstance(name, str):
+                continue
+            points: list[float | None] = []
+            for run in runs:
+                rec = run.get(bench)
+                found = None
+                if rec is not None:
+                    for m in rec.get("metrics", []):
+                        if m.get("name") == name:
+                            found = representative(m)
+                            break
+                points.append(found)
+            series.append({
+                "benchmark": bench,
+                "metric": name,
+                "unit": metric.get("unit", ""),
+                "better": metric.get("better", "neutral"),
+                "points": points,
+            })
+    return series
+
+
+def oriented_ratio(first: float, last: float, better: str) -> float:
+    """Ratio > 1 means worse, whatever the metric's direction."""
+    num, den = (last, first) if better == "less" else (first, last)
+    if den == 0.0:
+        return math.nan if num == 0.0 else math.inf
+    return num / den
+
+
+def analyze(series: list[dict], fail_drift: float) -> None:
+    """Annotate each series with drift/creep verdicts (in place)."""
+    for s in series:
+        s["drift"] = None
+        s["verdict"] = ""
+        if s["better"] == "neutral":
+            continue
+        points = [p for p in s["points"] if p is not None]
+        if len(points) < 2:
+            continue
+        drift = oriented_ratio(points[0], points[-1], s["better"])
+        if math.isnan(drift):
+            continue
+        s["drift"] = drift
+        steps = [oriented_ratio(a, b, s["better"])
+                 for a, b in zip(points, points[1:])]
+        steps_in_band = all(st <= fail_drift for st in steps
+                            if not math.isnan(st))
+        if drift > fail_drift:
+            s["verdict"] = "DRIFT"
+        elif drift > 1.0 + (fail_drift - 1.0) / 2.0 and steps_in_band:
+            # Halfway through the budget without any single step tripping
+            # the per-run gate: the signature of monotonic creep.
+            s["verdict"] = "CREEP"
+
+
+def fmt(v: float | None) -> str:
+    return "-" if v is None else f"{v:.6g}"
+
+
+def render_markdown(series: list[dict], labels: list[str],
+                    fail_drift: float) -> str:
+    lines = ["# Bench trend report", "",
+             f"{len(labels)} run(s), oldest first: " + ", ".join(labels), "",
+             f"Drift gate: x{fail_drift:g} cumulative (oriented so >1 is "
+             "worse). DRIFT fails the job; CREEP is the early warning.", ""]
+    bench = None
+    for s in series:
+        if s["benchmark"] != bench:
+            bench = s["benchmark"]
+            lines += [f"## {bench}", "",
+                      "| metric | " + " | ".join(labels)
+                      + " | drift | verdict |",
+                      "|---" * (len(labels) + 3) + "|"]
+        row = [s["metric"] + (f" ({s['unit']})" if s["unit"] else "")]
+        row += [fmt(p) for p in s["points"]]
+        row.append("-" if s["drift"] is None else f"x{s['drift']:.2f}")
+        row.append(s["verdict"] or ("skip" if s["better"] == "neutral"
+                                    else "ok"))
+        lines.append("| " + " | ".join(row) + " |")
+        if s["metric"] == series[-1]["metric"] and s is series[-1]:
+            lines.append("")
+    drifted = [s for s in series if s["verdict"] == "DRIFT"]
+    creeping = [s for s in series if s["verdict"] == "CREEP"]
+    lines += ["", f"**Summary:** {len(drifted)} drift failure(s), "
+              f"{len(creeping)} creep warning(s), "
+              f"{len(series)} metric(s) tracked."]
+    return "\n".join(lines) + "\n"
+
+
+def render_html(series: list[dict], labels: list[str],
+                fail_drift: float) -> str:
+    head = ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            "<title>Bench trend report</title><style>"
+            "body{font-family:sans-serif;margin:2em}"
+            "table{border-collapse:collapse;margin-bottom:2em}"
+            "td,th{border:1px solid #999;padding:0.3em 0.6em;"
+            "text-align:right}"
+            "td:first-child,th:first-child{text-align:left}"
+            ".DRIFT{background:#fbb}.CREEP{background:#ffd9a0}"
+            "</style></head><body><h1>Bench trend report</h1>")
+    parts = [head,
+             f"<p>{len(labels)} run(s), oldest first. Drift gate: "
+             f"x{fail_drift:g} cumulative.</p>"]
+    bench = None
+    for s in series:
+        if s["benchmark"] != bench:
+            if bench is not None:
+                parts.append("</table>")
+            bench = s["benchmark"]
+            parts.append(f"<h2>{html.escape(bench)}</h2><table><tr>"
+                         "<th>metric</th>"
+                         + "".join(f"<th>{html.escape(lb)}</th>"
+                                   for lb in labels)
+                         + "<th>drift</th><th>verdict</th></tr>")
+        verdict = s["verdict"] or ("skip" if s["better"] == "neutral"
+                                   else "ok")
+        cells = [f"<td>{html.escape(s['metric'])}</td>"]
+        cells += [f"<td>{fmt(p)}</td>" for p in s["points"]]
+        cells.append("<td>" + ("-" if s["drift"] is None
+                               else f"x{s['drift']:.2f}") + "</td>")
+        cells.append(f"<td class='{verdict}'>{verdict}</td>")
+        parts.append("<tr>" + "".join(cells) + "</tr>")
+    if bench is not None:
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "".join(parts) + "\n"
+
+
+def run_trend(args: argparse.Namespace) -> int:
+    for d in args.runs:
+        if not os.path.isdir(d):
+            print(f"bench_trend: run directory '{d}' does not exist",
+                  file=sys.stderr)
+            return 2
+    if args.labels:
+        labels = args.labels.split(",")
+        if len(labels) != len(args.runs):
+            print("bench_trend: --labels count does not match run count",
+                  file=sys.stderr)
+            return 2
+    else:
+        labels = [os.path.basename(os.path.normpath(d)) or d
+                  for d in args.runs]
+
+    if len(args.runs) < 2:
+        print("bench_trend: fewer than two runs — nothing to trend "
+              "(clean no-op)")
+        return 0
+
+    runs = load_runs(args.runs)
+    series = collect_series(runs)
+    analyze(series, args.fail_drift)
+
+    md = render_markdown(series, labels, args.fail_drift)
+    if args.out_md:
+        with open(args.out_md, "w", encoding="utf-8") as fh:
+            fh.write(md)
+    if args.out_html:
+        with open(args.out_html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(series, labels, args.fail_drift))
+
+    for s in series:
+        if s["verdict"]:
+            first = next(p for p in s["points"] if p is not None)
+            last = next(p for p in reversed(s["points"]) if p is not None)
+            print(f"{s['verdict']:5}  {s['benchmark']}:{s['metric']}: "
+                  f"{fmt(first)} -> {fmt(last)} {s['unit']} "
+                  f"(x{s['drift']:.2f} cumulative over {len(labels)} runs)")
+    drifted = sum(1 for s in series if s["verdict"] == "DRIFT")
+    creeping = sum(1 for s in series if s["verdict"] == "CREEP")
+    print(f"bench_trend: {len(series)} metric(s) over {len(labels)} run(s), "
+          f"{drifted} drift failure(s), {creeping} creep warning(s)")
+    return 1 if drifted else 0
+
+
+def _record(values: dict[str, float], neutral: float = 8.0) -> dict:
+    metrics = [{"name": name, "unit": "s", "better": "less", "kind": "time",
+                "value": v, "min": v, "median": v, "mad": 0.0,
+                "repetitions": 3, "samples": [v] * 3}
+               for name, v in values.items()]
+    metrics.append({"name": "host/threads", "unit": "threads",
+                    "better": "neutral", "kind": "counter", "value": neutral})
+    return {"schema_version": 1, "benchmark": "bench_selftest",
+            "title": "synthetic", "paper_ref": "none", "environment": {},
+            "parameters": {}, "metrics": metrics}
+
+
+def run_selftest() -> int:
+    failures = []
+
+    def check(label: str, ok: bool) -> None:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        if not ok:
+            failures.append(label)
+
+    def ns(runs: list[str], **kw) -> argparse.Namespace:
+        base = dict(runs=runs, out_md=None, out_html=None,
+                    fail_drift=FAIL_DRIFT_DEFAULT, labels=None)
+        base.update(kw)
+        return argparse.Namespace(**base)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def write_run(name: str, values: dict[str, float],
+                      neutral: float = 8.0) -> str:
+            d = os.path.join(tmp, name)
+            os.makedirs(d, exist_ok=True)
+            with open(os.path.join(d, "BENCH_bench_selftest.json"), "w",
+                      encoding="utf-8") as fh:
+                json.dump(_record(values, neutral), fh)
+            return d
+
+        # Three stable runs: clean.
+        stable = [write_run(f"s{i}", {"stage/seconds": 1.0})
+                  for i in range(3)]
+        check("stable series is clean", run_trend(ns(stable)) == 0)
+
+        # Monotonic creep past the gate: every step inside the 2x per-run
+        # band, cumulative 2.2x -> DRIFT, exit 1. Exactly the failure mode
+        # single-run comparisons cannot see.
+        creep = [write_run(f"c{i}", {"stage/seconds": v})
+                 for i, v in enumerate([1.0, 1.5, 2.2])]
+        check("monotonic creep past the gate fails", run_trend(ns(creep)) == 1)
+
+        # Halfway into the budget: CREEP warning, exit stays 0.
+        warn = [write_run(f"w{i}", {"stage/seconds": v})
+                for i, v in enumerate([1.0, 1.3, 1.7])]
+        check("half-budget creep warns but passes", run_trend(ns(warn)) == 0)
+
+        # Improvements never gate.
+        improving = [write_run(f"i{i}", {"stage/seconds": v})
+                     for i, v in enumerate([2.0, 1.0, 0.5])]
+        check("improving series is clean", run_trend(ns(improving)) == 0)
+
+        # Neutral metrics never gate, whatever they do.
+        jitter = [write_run(f"n{i}", {"stage/seconds": 1.0}, neutral=v)
+                  for i, v in enumerate([1.0, 50.0, 400.0])]
+        check("neutral metric swings are clean", run_trend(ns(jitter)) == 0)
+
+        # Fewer than two runs: clean no-op (first scheduled nightly).
+        check("single run is a clean no-op", run_trend(ns(stable[:1])) == 0)
+
+        # Missing directory is a usage error.
+        check("missing run dir exits 2",
+              run_trend(ns([os.path.join(tmp, "gone")])) == 2)
+
+        # A metric absent from older runs trends on what exists.
+        sparse = [write_run("p0", {"stage/seconds": 1.0}),
+                  write_run("p1", {"stage/seconds": 1.0,
+                                   "stage/new_metric": 1.0}),
+                  write_run("p2", {"stage/seconds": 1.0,
+                                   "stage/new_metric": 1.1})]
+        check("sparse series (new metric) is clean", run_trend(ns(sparse)) == 0)
+
+        # Reports are written and name the drifting metric.
+        md_path = os.path.join(tmp, "trend.md")
+        html_path = os.path.join(tmp, "trend.html")
+        rc = run_trend(ns(creep, out_md=md_path, out_html=html_path))
+        with open(md_path, encoding="utf-8") as fh:
+            md = fh.read()
+        with open(html_path, encoding="utf-8") as fh:
+            page = fh.read()
+        check("report run still fails", rc == 1)
+        check("markdown report names the drift",
+              "stage/seconds" in md and "DRIFT" in md)
+        check("html report names the drift",
+              "stage/seconds" in page and "DRIFT" in page)
+
+    print("bench_trend --selftest: "
+          + ("PASS" if not failures else f"{len(failures)} FAILED"))
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Detect cumulative drift across csg::bench run series.")
+    parser.add_argument("runs", nargs="*", metavar="RUN_DIR",
+                        help="run directories, oldest first")
+    parser.add_argument("--out-md", help="write a markdown report here")
+    parser.add_argument("--out-html", help="write an HTML report here")
+    parser.add_argument("--fail-drift", type=float,
+                        default=FAIL_DRIFT_DEFAULT,
+                        help="fail when a gated metric's cumulative drift"
+                             " exceeds this ratio (default 2.0)")
+    parser.add_argument("--labels",
+                        help="comma-separated run labels (default: dir names)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in detection self-test")
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return run_selftest()
+    if not args.runs:
+        parser.print_usage(sys.stderr)
+        return 2
+    return run_trend(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -84,6 +84,7 @@ expect 2 "usage:" serve-bench --requests 0
 expect 2 "usage:" serve-bench --workers 0
 expect 2 "usage:" serve-bench --policy sometimes
 expect 2 "usage:" serve-bench --deadline-ms -5
+expect 2 "usage:" serve-bench --shards -1
 
 # --- net-serve / net-bench: option validation --------------------------------
 expect 2 "usage:" net-serve --port 70000
@@ -93,12 +94,16 @@ expect 2 "usage:" net-serve --workers 0
 expect 2 "usage:" net-serve --max-conns 0
 expect 2 "usage:" net-serve --max-points 0
 expect 2 "usage:" net-serve --idle-exit-ms -1
+expect 2 "usage:" net-serve --shards -1
+expect 2 "usage:" net-serve --in-flight 0
 expect 2 "usage:" net-bench --transport carrier-pigeon
 expect 2 "usage:" net-bench --requests 0
 expect 2 "usage:" net-bench --clients 0
 expect 2 "usage:" net-bench --points 0
 expect 2 "usage:" net-bench --deadline-ms -5
 expect 2 "usage:" net-bench --port 70000
+expect 2 "usage:" net-bench --shards -1
+expect 2 "usage:" net-bench --in-flight 0
 
 # --- net-serve: binding an already-bound port is a runtime error (exit 1) ----
 # First server picks an ephemeral port (printed on its banner); the second

@@ -13,10 +13,11 @@ Rules (catalog and suppression policy in docs/STATIC_ANALYSIS.md):
   shift-width            integer-literal left operands of << must carry an
                          explicit 64-bit width (T{1} brace form or l/L
                          suffix) unless the shift count is a small constant
-  implicit-narrowing     in src/core, src/parallel, and src/serve,
+  implicit-narrowing     in src/core, src/parallel, src/serve, and src/net,
                          level_t/dim_t declarations must not be initialised
                          from a wider index expression without an explicit
-                         static_cast
+                         static_cast (shard_hash() results included, so the
+                         grid-name -> shard mapping stays 64-bit-safe)
   raw-alloc              no raw new/delete/malloc/free outside src/memsim
                          (the memory-simulation layer owns allocation
                          instrumentation); placement new is exempt
@@ -265,7 +266,7 @@ class ImplicitNarrowingRule(Rule):
     # casts the compiler's -Wconversion lane enforces anyway).
     WIDE = re.compile(
         r"l1_norm\s*\(|num_points\s*\(|group_offset\s*\(|memory_bytes\s*\(|"
-        r"subspace_index\s*\(|flat_index_t|index1d_t|uint64"
+        r"subspace_index\s*\(|shard_hash\s*\(|flat_index_t|index1d_t|uint64"
     )
 
     def applies(self, relpath):
@@ -397,17 +398,24 @@ class OmpLoopCounterRule(Rule):
 
 class PragmaOnceRule(Rule):
     name = "pragma-once"
-    description = "every header carries #pragma once"
+    description = "every header opens with #pragma once (doc comments aside)"
 
     def applies(self, relpath):
         return relpath.endswith(".hpp")
 
     def run(self, src):
-        for line in src.masked_lines[:30]:
+        # Masked lines blank out comments, so the first line with content is
+        # the first line of actual code — a leading doc block of any length
+        # is fine, but the guard must come before includes or declarations.
+        for line in src.masked_lines:
+            if not line.strip():
+                continue
             if re.match(r"\s*#\s*pragma\s+once\b", line):
                 return []
+            break
         return [Finding(self.name, src.relpath, 1,
-                        "header is missing #pragma once")]
+                        "header is missing #pragma once before its first "
+                        "line of code")]
 
 
 class BenchSeedRule(Rule):
@@ -693,6 +701,26 @@ def selftest(root, args):
                   f"({len(mine)} finding{'s' if len(mine) != 1 else ''})")
         else:
             print(f"FAIL  {rule_name}: fixture {rel} produced no finding")
+            failures += 1
+    # The shard-hash width fixture is a second implicit-narrowing probe
+    # (FIXTURES holds one per rule): shard_hash() is how grid names map to
+    # EvalService shards, and a 32-bit truncation of its 64-bit result
+    # would skew the distribution silently. Expect exactly the two BAD
+    # declarations — the static_cast line must stay clean.
+    shard_fx = os.path.join(FIXTURE_DIR, "bad_shard_hash_width.cpp")
+    if not os.path.exists(os.path.join(root, shard_fx)):
+        print(f"FAIL  shard-hash-width: fixture {shard_fx} missing")
+        failures += 1
+    else:
+        found = run_rule_on_file(root, args, "implicit-narrowing", shard_fx)
+        if len(found) == 2:
+            print("ok    shard-hash-width: both truncating declarations "
+                  "flagged, cast form clean")
+        else:
+            print(f"FAIL  shard-hash-width: expected 2 findings, "
+                  f"got {len(found)}")
+            for f in found:
+                print(f"      {f}")
             failures += 1
     # Suppression syntax must actually suppress (otherwise every allow()
     # comment in the tree is dead weight and the clean scan lies).

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -70,17 +71,20 @@ int usage() {
                "  csgtool serve-bench [--dims D] [--level N] [--grids G]\n"
                "                      [--requests R] [--producers P]\n"
                "                      [--workers W] [--queue Q] [--batch B]\n"
+               "                      [--shards S (0 = auto)]\n"
                "                      [--window-us U] [--policy reject|block]\n"
                "                      [--deadline-ms M] [--seed S]\n"
                "  csgtool net-serve [--port P] [--dims D] [--level N]\n"
                "                    [--grids G] [--workers W] [--queue Q]\n"
                "                    [--batch B] [--window-us U]\n"
+               "                    [--shards S (0 = auto)] [--in-flight F]\n"
                "                    [--max-conns C] [--max-points K]\n"
                "                    [--idle-exit-ms I]\n"
                "  csgtool net-bench [--transport loopback|tcp] [--port P]\n"
                "                    [--dims D] [--level N] [--grids G]\n"
                "                    [--requests R] [--clients C] [--points K]\n"
                "                    [--workers W] [--queue Q] [--batch B]\n"
+               "                    [--shards S (0 = auto)] [--in-flight F]\n"
                "                    [--deadline-ms M] [--seed S]\n"
                "functions: parabola_product gaussian_bump oscillatory\n"
                "           coarse_dlinear simulation_field\n");
@@ -461,6 +465,8 @@ int cmd_serve_bench(int argc, char** argv) {
   const long deadline_ms =
       std::atol(flag_value(argc, argv, "--deadline-ms", "0"));
   opts.default_deadline = std::chrono::milliseconds(deadline_ms);
+  const long shards = std::atol(flag_value(argc, argv, "--shards", "0"));
+  opts.shard_count = static_cast<std::size_t>(shards);
   if (policy == "reject")
     opts.overflow = serve::OverflowPolicy::kReject;
   else if (policy == "block")
@@ -469,7 +475,8 @@ int cmd_serve_bench(int argc, char** argv) {
     return usage();
   if (d < 1 || d > kMaxDim || n < 1 || n > kMaxLevel || grids < 1 ||
       requests < 1 || producers < 1 || opts.workers < 1 ||
-      opts.queue_capacity < 1 || opts.max_batch_points < 1 || deadline_ms < 0)
+      opts.queue_capacity < 1 || opts.max_batch_points < 1 ||
+      deadline_ms < 0 || shards < 0)
     return usage();
 
   serve::GridRegistry registry;
@@ -481,11 +488,11 @@ int cmd_serve_bench(int argc, char** argv) {
   }
   serve::EvalService service(registry, opts);
   std::printf("serve-bench: %d grid(s) d=%u level=%u (%.1f KB registry), "
-              "%ld requests, %d producer(s), %d worker(s), queue %zu, "
-              "batch %zu, window %lld us, policy %s\n",
+              "%ld requests, %d producer(s), %zu shard(s) x %d worker(s), "
+              "queue %zu, batch %zu, window %lld us, policy %s\n",
               grids, d, n, static_cast<double>(registry.memory_bytes()) / 1e3,
-              requests, producers, opts.workers, opts.queue_capacity,
-              opts.max_batch_points,
+              requests, producers, service.shard_count(), opts.workers,
+              opts.queue_capacity, opts.max_batch_points,
               static_cast<long long>(opts.batch_window.count()),
               policy.c_str());
 
@@ -541,6 +548,15 @@ int cmd_serve_bench(int argc, char** argv) {
               static_cast<unsigned long long>(st.completed),
               static_cast<unsigned long long>(st.rejected),
               static_cast<unsigned long long>(st.timed_out));
+  std::size_t busy_shards = 0;
+  std::uint64_t deepest = 0;
+  for (const auto& sh : st.shards) {
+    if (sh.submits > 0) ++busy_shards;
+    deepest = std::max(deepest, sh.max_queue_depth);
+  }
+  std::printf("  shards     %zu of %zu took submissions, deepest queue %llu\n",
+              busy_shards, st.shards.size(),
+              static_cast<unsigned long long>(deepest));
   // Closed-loop producers never outrun the queue; anything other than R
   // completions means the service misbehaved.
   return st.completed == static_cast<std::uint64_t>(requests) ? 0 : 1;
@@ -582,10 +598,13 @@ int cmd_net_serve(int argc, char** argv) {
       std::atoll(flag_value(argc, argv, "--batch", "64")));
   opts.batch_window = std::chrono::microseconds(
       std::atoll(flag_value(argc, argv, "--window-us", "200")));
+  const long shards = std::atol(flag_value(argc, argv, "--shards", "0"));
+  opts.shard_count = static_cast<std::size_t>(shards);
+  const long in_flight = std::atol(flag_value(argc, argv, "--in-flight", "8"));
   if (d < 1 || d > kMaxDim || n < 1 || n > kMaxLevel || grids < 1 ||
       port < 0 || port > 65535 || max_conns < 1 || max_points < 1 ||
       idle_exit_ms < 0 || opts.workers < 1 || opts.queue_capacity < 1 ||
-      opts.max_batch_points < 1)
+      opts.max_batch_points < 1 || shards < 0 || in_flight < 1)
     return usage();
 
   serve::GridRegistry registry;
@@ -595,14 +614,16 @@ int cmd_net_serve(int argc, char** argv) {
   net::TcpListener listener(static_cast<std::uint16_t>(port));
   net::NetServerOptions nopts;
   nopts.max_connections = static_cast<std::size_t>(max_conns);
+  nopts.max_in_flight = static_cast<std::size_t>(in_flight);
   nopts.limits.max_batch_points = static_cast<std::uint64_t>(max_points);
   net::NetServer server(listener, registry, service, nopts);
   server.start();
   std::printf("net-serve: listening on 127.0.0.1:%u (%d grid(s) d=%u "
-              "level=%u, %.1f KB registry, %d worker(s))\n",
+              "level=%u, %.1f KB registry, %zu shard(s) x %d worker(s), "
+              "%ld frame(s) in flight per connection)\n",
               listener.port(), grids, d, n,
               static_cast<double>(registry.memory_bytes()) / 1e3,
-              opts.workers);
+              service.shard_count(), opts.workers, in_flight);
   std::fflush(stdout);  // the port line must reach pipes before we block
 
   // Lifetime: exit after --idle-exit-ms of no connections and no traffic
@@ -665,11 +686,14 @@ int cmd_net_bench(int argc, char** argv) {
       std::atoll(flag_value(argc, argv, "--queue", "4096")));
   opts.max_batch_points = static_cast<std::size_t>(
       std::atoll(flag_value(argc, argv, "--batch", "64")));
+  const long shards = std::atol(flag_value(argc, argv, "--shards", "0"));
+  opts.shard_count = static_cast<std::size_t>(shards);
+  const long in_flight = std::atol(flag_value(argc, argv, "--in-flight", "8"));
   if ((transport != "loopback" && transport != "tcp") || d < 1 ||
       d > kMaxDim || n < 1 || n > kMaxLevel || grids < 1 || requests < 1 ||
       clients < 1 || points < 1 || port < 0 || port > 65535 ||
       deadline_ms < 0 || opts.workers < 1 || opts.queue_capacity < 1 ||
-      opts.max_batch_points < 1)
+      opts.max_batch_points < 1 || shards < 0 || in_flight < 1)
     return usage();
 
   serve::GridRegistry registry;
@@ -683,12 +707,15 @@ int cmd_net_bench(int argc, char** argv) {
     tcp = std::make_unique<net::TcpListener>(static_cast<std::uint16_t>(port));
     listener = tcp.get();
   }
-  net::NetServer server(*listener, registry, service, {});
+  net::NetServerOptions nopts;
+  nopts.max_in_flight = static_cast<std::size_t>(in_flight);
+  net::NetServer server(*listener, registry, service, nopts);
   server.start();
   std::printf("net-bench: %s transport, %d grid(s) d=%u level=%u, %ld "
-              "request(s) x %ld point(s), %d client(s), %d worker(s)\n",
+              "request(s) x %ld point(s), %d client(s), %zu shard(s) x "
+              "%d worker(s), %ld frame(s) in flight\n",
               transport.c_str(), grids, d, n, requests, points, clients,
-              opts.workers);
+              service.shard_count(), opts.workers, in_flight);
 
   const std::int64_t deadline_us = deadline_ms * 1000;
   std::vector<std::string> grid_names;
@@ -714,21 +741,33 @@ int cmd_net_bench(int argc, char** argv) {
             seed + static_cast<std::uint32_t>(c));
         auto& lat = lat_us[static_cast<std::size_t>(c)];
         lat.reserve(static_cast<std::size_t>(share));
-        for (long k = 0; k < share; ++k) {
-          const std::string& grid =
-              grid_names[static_cast<std::size_t>((c + k) % grids)];
-          const auto t0 = std::chrono::steady_clock::now();
-          const auto resp = client.evaluate_batch(grid, pts, deadline_us);
+        // Pipelined closed loop: keep up to --in-flight requests
+        // outstanding, collecting the oldest (FIFO) once the window is
+        // full. Latency is submit-to-collect, so it includes pipeline
+        // queueing — the honest number under pipelining.
+        std::deque<std::chrono::steady_clock::time_point> t0s;
+        const auto collect_one = [&] {
+          const auto resp = client.collect();
           lat.push_back(std::chrono::duration<double, std::micro>(
-                            std::chrono::steady_clock::now() - t0)
+                            std::chrono::steady_clock::now() - t0s.front())
                             .count());
+          t0s.pop_front();
           for (const auto& r : resp.results) {
             if (r.status == static_cast<std::uint8_t>(serve::Status::kOk))
               ok_points.fetch_add(1);
             else
               failed_points.fetch_add(1);
           }
+        };
+        for (long k = 0; k < share; ++k) {
+          const std::string& grid =
+              grid_names[static_cast<std::size_t>((c + k) % grids)];
+          t0s.push_back(std::chrono::steady_clock::now());
+          (void)client.submit_eval(grid, pts, deadline_us);
+          if (client.outstanding() >= static_cast<std::size_t>(in_flight))
+            collect_one();
         }
+        while (client.outstanding() > 0) collect_one();
       } catch (const std::exception&) {
         transport_errors.fetch_add(1);
       }
@@ -740,6 +779,7 @@ int cmd_net_bench(int argc, char** argv) {
 
   // Observability round trip before shutdown: list + stats over the wire.
   std::uint64_t wire_frames = 0, wire_rejected = 0;
+  std::uint64_t wire_pipelined = 0, wire_peak = 0;
   std::size_t listed = 0;
   try {
     net::NetClient probe(transport == "tcp"
@@ -749,6 +789,8 @@ int cmd_net_bench(int argc, char** argv) {
     const auto ws = probe.fetch_stats();
     wire_frames = ws.frames_decoded;
     wire_rejected = ws.frames_rejected;
+    wire_pipelined = ws.pipelined_frames;
+    wire_peak = ws.frames_in_flight_peak;
   } catch (const std::exception&) {
     transport_errors.fetch_add(1);
   }
@@ -778,6 +820,9 @@ int cmd_net_bench(int argc, char** argv) {
               "grid(s) listed\n",
               static_cast<unsigned long long>(wire_frames),
               static_cast<unsigned long long>(wire_rejected), listed);
+  std::printf("  pipeline   %llu frame(s) overlapped, peak %llu in flight\n",
+              static_cast<unsigned long long>(wire_pipelined),
+              static_cast<unsigned long long>(wire_peak));
   std::printf("  outcomes   %llu ok, %llu failed point(s), %llu transport "
               "error(s)\n",
               static_cast<unsigned long long>(ok_points.load()),
