@@ -146,6 +146,70 @@ int main(int argc, char** argv) {
     std::printf("  %2d thread(s)  %10.4f s  (%.2fx vs 1-thread seq many)\n",
                 t, s, seq_many_s / s);
   }
+
+  // --- soa_vs_scalar: the SoA batch kernel against the forced scalar
+  // fallback (DESIGN.md §14), same plan, same blocking. The speedup is
+  // recorded neutral (it is host-vector-width-dependent); the work counters
+  // are deterministic functions of (points, block, plan) and gate exactly.
+  {
+    const EvalKernel saved = eval_kernel();
+    set_eval_kernel(EvalKernel::kScalar);
+    std::vector<real_t> scalar_out;
+    const double scalar_s = csg::bench::time_per_call_s(
+        [&] { scalar_out = evaluate_many_blocked(storage, pts, block); });
+    set_eval_kernel(EvalKernel::kSoa);
+    // Warm the thread-local arena, then pin zero steady-state allocation
+    // and take one deterministic counter snapshot.
+    std::vector<real_t> soa_out = evaluate_many_blocked(storage, pts, block);
+    const std::uint64_t arena0 = PointBlock::allocation_count();
+    reset_soa_kernel_stats();
+    soa_out = evaluate_many_blocked(storage, pts, block);
+    const SoaKernelStats stats = soa_kernel_stats();
+    const std::uint64_t steady_allocs =
+        PointBlock::allocation_count() - arena0;
+    const double soa_s = csg::bench::time_per_call_s(
+        [&] { soa_out = evaluate_many_blocked(storage, pts, block); });
+    set_eval_kernel(saved);
+
+    const bool exact_soa = bit_identical(soa_out, reference) &&
+                           bit_identical(scalar_out, reference);
+    std::printf("\nsoa_vs_scalar (block %zu, lane width %zu):\n", block,
+                kPointBlockLane);
+    std::printf("  scalar fallback   %10.4f s\n", scalar_s);
+    std::printf("  soa kernel        %10.4f s  %8.2fx vs scalar   exact: %s\n",
+                soa_s, scalar_s / soa_s, exact_soa ? "yes" : "NO");
+    std::printf("  one pass: %llu blocks, %llu lanes, %llu subspace visits, "
+                "%llu steady-state arena allocations\n",
+                static_cast<unsigned long long>(stats.blocks),
+                static_cast<unsigned long long>(stats.lanes),
+                static_cast<unsigned long long>(stats.subspaces_visited),
+                static_cast<unsigned long long>(steady_allocs));
+    report.add_time("eval_s/soa_blocked", csg::bench::summarize({soa_s}))
+        .tolerance = 1.0;
+    report.add_time("eval_s/scalar_blocked",
+                    csg::bench::summarize({scalar_s}))
+        .tolerance = 1.0;
+    report.add_counter("soa/speedup_vs_scalar", scalar_s / soa_s, "x",
+                       Better::kNeutral);
+    report.add_counter("soa/points", static_cast<double>(pts.size()), "count",
+                       Better::kNeutral);
+    report.add_counter("soa/lane_width",
+                       static_cast<double>(kPointBlockLane), "points",
+                       Better::kNeutral);
+    report.add_counter("soa/blocks", static_cast<double>(stats.blocks),
+                       "count", Better::kNeutral);
+    report.add_counter("soa/lanes", static_cast<double>(stats.lanes), "count",
+                       Better::kNeutral);
+    report.add_counter("soa/subspaces_visited",
+                       static_cast<double>(stats.subspaces_visited), "count",
+                       Better::kNeutral);
+    // Hard invariants: exact parity, and no arena growth once warm.
+    report.add_counter("exact/soa_blocked", exact_soa ? 1 : 0, "bool",
+                       Better::kMore);
+    report.add_counter("soa/steady_state_allocs",
+                       static_cast<double>(steady_allocs), "count",
+                       Better::kLess);
+  }
   csg::bench::finish_report(report, args);
   // The speedup acceptance gate depends on the host having idle cores;
   // CI runners share theirs, so the nonzero exit is opt-in.

@@ -61,8 +61,10 @@ Timings run(dim_t d, level_t n, std::size_t eval_points) {
   const auto pts = workloads::uniform_points(d, eval_points, 99);
   double e;
   if constexpr (std::is_same_v<S, CompactStorage>) {
+    // The compact structure's batched query path: Sec. 4.3 blocking over
+    // the shared plan, which runs the SoA batch kernel (DESIGN.md §14).
     e = csg::bench::time_per_call_s(
-        [&] { (void)evaluate_many(storage, pts); }, kMinSeconds);
+        [&] { (void)evaluate_many_blocked(storage, pts, 64); }, kMinSeconds);
   } else if constexpr (std::is_same_v<S, PrefixTreeStorage>) {
     e = csg::bench::time_per_call_s(
         [&] {
@@ -162,17 +164,18 @@ int main(int argc, char** argv) {
       last[0].hierarchize_s <= last[4].hierarchize_s;
   std::printf("  compact fastest hierarchization at d=%u: %s\n", d_hi,
               compact_fastest_hier ? "yes" : "NO");
-  // The paper's wording for Fig. 9b: the prefix tree's evaluation is
-  // "very close to the performance obtained with our data structure"
-  // (both exploit the cache; at the paper's level-11 scale compact edges
-  // ahead, at reduced levels the trie's branch pruning can win slightly).
+  // The paper's Fig. 9b has the prefix tree "very close to the performance
+  // obtained with our data structure" — that held for the per-point walk.
+  // The compact column now runs the batched SoA path (blocking + vectorized
+  // kernel, DESIGN.md §14), which the pointer-chasing trie cannot match, so
+  // the shape check asks for compact strictly ahead of the trie and both
+  // maps instead of "within 2x".
   const bool eval_shape_ok =
-      last[0].eval_per_point_s <= 2 * last[1].eval_per_point_s &&
-      last[1].eval_per_point_s <= 2 * last[0].eval_per_point_s &&
+      last[0].eval_per_point_s <= last[1].eval_per_point_s &&
       last[0].eval_per_point_s < last[3].eval_per_point_s &&
       last[0].eval_per_point_s < last[4].eval_per_point_s;
-  std::printf("  compact and prefix_tree evaluation within 2x of each other "
-              "and ahead of both maps at d=%u: %s\n",
+  std::printf("  compact (SoA batched) evaluation ahead of prefix_tree and "
+              "both maps at d=%u: %s\n",
               d_hi, eval_shape_ok ? "yes" : "NO");
   const bool std_map_slowest = last[4].hierarchize_s >= last[0].hierarchize_s &&
                                last[4].hierarchize_s >= last[1].hierarchize_s;
@@ -182,7 +185,7 @@ int main(int argc, char** argv) {
   // as neutral counters (informational, never gated).
   report.add_counter("shape/compact_fastest_hierarchization",
                      compact_fastest_hier ? 1 : 0, "bool", Better::kNeutral);
-  report.add_counter("shape/compact_prefix_tree_eval_close", eval_shape_ok ? 1 : 0,
+  report.add_counter("shape/compact_eval_ahead", eval_shape_ok ? 1 : 0,
                      "bool", Better::kNeutral);
   report.add_counter("shape/std_map_slowest_hierarchization",
                      std_map_slowest ? 1 : 0, "bool", Better::kNeutral);

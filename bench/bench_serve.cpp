@@ -20,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "csg/core/hierarchize.hpp"
+#include "csg/core/point_block.hpp"
 #include "csg/serve/grid_registry.hpp"
 #include "csg/serve/service.hpp"
 #include "csg/workloads/functions.hpp"
@@ -245,6 +246,45 @@ int main(int argc, char** argv) {
               "requests");
     add_exact(report, "sharding/hot_max_queue_depth",
               static_cast<double>(hot_shard.max_queue_depth), "requests");
+  }
+
+  // --- deterministic SoA arena reuse -----------------------------------
+  // One shard, one worker: the worker (and the OpenMP team it drives) owns
+  // a fixed set of thread-local PointBlock arenas. The first drained round
+  // sizes them; every later batch is equal or smaller, so the process-wide
+  // arena growth counter must stay exactly flat — the "zero per-batch
+  // point-layout allocation" claim of DESIGN.md §14, gated at 1e-6.
+  {
+    serve::ServiceOptions opts;
+    opts.shard_count = 1;
+    opts.queue_capacity = requests;
+    opts.max_batch_points = batch;
+    opts.batch_window = std::chrono::microseconds(0);
+    opts.workers = 1;
+    opts.start_paused = true;
+    serve::EvalService service(registry, opts);
+    std::vector<std::future<serve::EvalResult>> futs;
+    futs.reserve(requests);
+    for (std::size_t k = 0; k < requests; ++k)
+      futs.push_back(service.submit("a", pts[k]));
+    service.start();
+    for (auto& f : futs) (void)f.get();
+    futs.clear();
+    const std::uint64_t warm = PointBlock::allocation_count();
+    const int rounds = 4;
+    for (int r = 0; r < rounds; ++r) {
+      for (std::size_t k = 0; k < requests; ++k)
+        futs.push_back(service.submit("a", pts[k]));
+      for (auto& f : futs) (void)f.get();
+      futs.clear();
+    }
+    service.stop();
+    const std::uint64_t steady = PointBlock::allocation_count() - warm;
+    std::printf("soa arena   %llu allocations across %d steady rounds of %zu "
+                "requests (expect 0)\n",
+                static_cast<unsigned long long>(steady), rounds, requests);
+    add_exact(report, "soa_arena/steady_state_allocs",
+              static_cast<double>(steady), "allocations");
   }
 
   // --- live throughput (informational) ---------------------------------

@@ -1,0 +1,52 @@
+// SIMD width detection for the SoA batch-evaluation kernel.
+//
+// CSG_SIMD_WIDTH is the number of real_t (double) lanes the target ISA can
+// process per vector instruction; it is a *hint* used for reporting and for
+// the static width probe below, not a correctness parameter. The PointBlock
+// lane padding is fixed at kPointBlockLane (a multiple of every supported
+// width) so that deterministic lane counters in the benchmarks do not drift
+// across machines with different vector units.
+//
+// The shim can be overridden on the compile line (-DCSG_SIMD_WIDTH=4) for
+// cross-compilation; the static_asserts reject widths the padding cannot
+// honour.
+#pragma once
+
+#include <cstddef>
+
+#if !defined(CSG_SIMD_WIDTH)
+#if defined(__AVX512F__)
+#define CSG_SIMD_WIDTH 8
+#elif defined(__AVX__)
+#define CSG_SIMD_WIDTH 4
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(__aarch64__) || \
+    defined(__ARM_NEON)
+#define CSG_SIMD_WIDTH 2
+#else
+#define CSG_SIMD_WIDTH 1
+#endif
+#endif
+
+namespace csg {
+
+/// Detected (or overridden) double lanes per vector register.
+inline constexpr std::size_t kSimdWidth = CSG_SIMD_WIDTH;
+
+/// Fixed lane-padding granule of PointBlock: every SoA coordinate array is
+/// padded to a multiple of this many points. Fixed (not kSimdWidth) so the
+/// padded sizes — and the lane counters derived from them — are identical on
+/// every machine; it only needs to be a multiple of the real vector width
+/// for the padded tail to fill whole vectors.
+inline constexpr std::size_t kPointBlockLane = 8;
+
+// Width probe: the detection shim must report a power of two that divides
+// the fixed padding granule, or the padded tail would not cover an integral
+// number of hardware vectors and the "lanes" counters would lie.
+static_assert(kSimdWidth >= 1 && kSimdWidth <= kPointBlockLane,
+              "CSG_SIMD_WIDTH out of the supported [1, 8] double-lane range");
+static_assert((kSimdWidth & (kSimdWidth - 1)) == 0,
+              "CSG_SIMD_WIDTH must be a power of two");
+static_assert(kPointBlockLane % kSimdWidth == 0,
+              "PointBlock padding must cover whole hardware vectors");
+
+}  // namespace csg

@@ -1,6 +1,9 @@
 #include "csg/core/evaluate.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
 
 #include "csg/core/grid_point.hpp"
 #include "csg/core/level_enumeration.hpp"
@@ -27,7 +30,135 @@ real_t subspace_contribution(const real_t* coeffs, const level_t* l, dim_t d,
   return prod * coeffs[base + index1];
 }
 
+std::atomic<EvalKernel> g_eval_kernel{EvalKernel::kAuto};
+std::atomic<std::uint64_t> g_soa_blocks{0};
+std::atomic<std::uint64_t> g_soa_lanes{0};
+std::atomic<std::uint64_t> g_soa_subspaces{0};
+
+bool env_forces_scalar() {
+  // Read once: the env var selects the kernel for the process lifetime;
+  // runtime flips go through set_eval_kernel instead.
+  static const bool forced = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read-only, pre-thread startup
+    const char* v = std::getenv("CSG_FORCE_SCALAR_EVAL");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return forced;
+}
+
+/// 2^l as an exact double (l <= kMaxLevel + 1 < 63).
+real_t pow2_real(level_t l) {
+  return static_cast<real_t>(flat_index_t{1} << l);
+}
+
+/// Adding and subtracting 2^52 rounds a non-negative double below 2^51 to
+/// the nearest integer; the select then corrects nearest to floor. This is
+/// the branch-free, SSE2-vectorizable spelling of the cell-locate truncation
+/// in support_index_1d (values here are bounded by 2^kMaxLevel = 2^40).
+constexpr real_t kFloorShift = 4503599627370496.0;  // 2^52
+
 }  // namespace
+
+void set_eval_kernel(EvalKernel kernel) {
+  g_eval_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+EvalKernel eval_kernel() {
+  return g_eval_kernel.load(std::memory_order_relaxed);
+}
+
+bool eval_uses_soa() {
+  switch (eval_kernel()) {
+    case EvalKernel::kSoa: return true;
+    case EvalKernel::kScalar: return false;
+    case EvalKernel::kAuto: break;
+  }
+  return !env_forces_scalar();
+}
+
+SoaKernelStats soa_kernel_stats() {
+  return {g_soa_blocks.load(std::memory_order_relaxed),
+          g_soa_lanes.load(std::memory_order_relaxed),
+          g_soa_subspaces.load(std::memory_order_relaxed)};
+}
+
+void reset_soa_kernel_stats() {
+  g_soa_blocks.store(0, std::memory_order_relaxed);
+  g_soa_lanes.store(0, std::memory_order_relaxed);
+  g_soa_subspaces.store(0, std::memory_order_relaxed);
+}
+
+void evaluate_block_soa(const EvaluationPlan& plan,
+                        std::span<const real_t> coeffs, PointBlock& block) {
+  CSG_EXPECTS(block.dim() == plan.dim());
+  CSG_EXPECTS(coeffs.size() >= plan.num_points());
+  const dim_t d = plan.dim();
+  const level_t* levels = plan.packed_levels();
+  const flat_index_t* offsets = plan.offsets();
+  const std::size_t count = plan.subspace_count();
+  const std::size_t padded = block.padded_size();
+  real_t* acc = block.accum();
+  real_t* prod = block.scratch_products();
+  real_t* idx = block.scratch_indices();
+  std::fill_n(acc, padded, real_t{0});
+  for (std::size_t s = 0; s < count; ++s) {
+    const level_t* l = levels + s * d;
+    const real_t* cbase = coeffs.data() + offsets[s];
+    {
+      // Dimension 0 initializes the running product and flat index; the
+      // remaining dimensions fold into them. One pass runs one level of one
+      // subspace against a full lane of points. All values are exact small
+      // integers or power-of-two-scaled coordinates, so the arithmetic
+      // rounds identically to the scalar path (the flat index stays below
+      // 2^40 and is therefore exact in a double).
+      const real_t cells = pow2_real(l[0]);  // 2^l: cells of this level
+      const real_t h_inv = cells * 2;        // 1/h = 2^(l+1), exact
+      const real_t max_cell = cells - 1;
+      const real_t* x = block.coords(0);
+      // scalar fallback: subspace_contribution
+#pragma omp simd
+      for (std::size_t p = 0; p < padded; ++p) {
+        const real_t scaled = x[p] * cells;
+        real_t cell = (scaled + kFloorShift) - kFloorShift;  // nearest int
+        cell = cell > scaled ? cell - 1 : cell;              // -> floor
+        cell = cell < max_cell ? cell : max_cell;            // x == 1 clamp
+        // Alg. 7's support test: the hat of index i = 2*cell+1 evaluated at
+        // x; max(v, 0) is the branch-free boundary/support select.
+        const real_t v =
+            real_t{1} - std::fabs(x[p] * h_inv - (2 * cell + 1));
+        idx[p] = cell;
+        prod[p] = v > 0 ? v : 0;
+      }
+    }
+    for (dim_t t = 1; t < d; ++t) {
+      const real_t cells = pow2_real(l[t]);
+      const real_t h_inv = cells * 2;
+      const real_t max_cell = cells - 1;
+      const real_t* x = block.coords(t);
+      // scalar fallback: subspace_contribution
+#pragma omp simd
+      for (std::size_t p = 0; p < padded; ++p) {
+        const real_t scaled = x[p] * cells;
+        real_t cell = (scaled + kFloorShift) - kFloorShift;
+        cell = cell > scaled ? cell - 1 : cell;
+        cell = cell < max_cell ? cell : max_cell;
+        const real_t v =
+            real_t{1} - std::fabs(x[p] * h_inv - (2 * cell + 1));
+        idx[p] = idx[p] * cells + cell;
+        prod[p] *= v > 0 ? v : 0;
+      }
+    }
+    // Gather the selected coefficient per point and accumulate. Points on a
+    // grid line of this subspace carry prod == 0 and contribute exactly +-0.
+    // scalar fallback: subspace_contribution
+#pragma omp simd
+    for (std::size_t p = 0; p < padded; ++p)
+      acc[p] += prod[p] * cbase[static_cast<flat_index_t>(idx[p])];
+  }
+  g_soa_blocks.fetch_add(1, std::memory_order_relaxed);
+  g_soa_lanes.fetch_add(block.lanes(), std::memory_order_relaxed);
+  g_soa_subspaces.fetch_add(count, std::memory_order_relaxed);
+}
 
 real_t evaluate_span_walk(const RegularSparseGrid& grid,
                           std::span<const real_t> coeffs,
@@ -97,6 +228,24 @@ void evaluate_blocked_into(const EvaluationPlan& plan,
   CSG_EXPECTS(out.size() == points.size());
   CSG_EXPECTS(coeffs.size() >= plan.num_points());
   const dim_t d = plan.dim();
+  if (eval_uses_soa()) {
+    // Thread-local arena: OpenMP pool threads and serve workers alike keep
+    // one PointBlock alive across calls, so a steady-state batch stream
+    // transposes in place and performs zero point-layout allocations
+    // (PointBlock::allocation_count() stays flat — bench_serve gates this).
+    thread_local PointBlock block;
+    for (std::size_t b0 = 0; b0 < points.size(); b0 += block_size) {
+      const std::size_t b1 = std::min(b0 + block_size, points.size());
+      block.assign(d, points.subspan(b0, b1 - b0));
+      evaluate_block_soa(plan, coeffs, block);
+      const real_t* acc = block.accum();
+      for (std::size_t p = b0; p < b1; ++p) out[p] += acc[p - b0];
+    }
+    return;
+  }
+  // Scalar fallback: the pre-SoA blocked loop, kept verbatim (and selectable
+  // via CSG_FORCE_SCALAR_EVAL / set_eval_kernel) so differential tests can
+  // pin the SoA kernel against a bit-identical-to-seed reference.
   const level_t* levels = plan.packed_levels();
   const flat_index_t* offsets = plan.offsets();
   const std::size_t count = plan.subspace_count();

@@ -59,7 +59,10 @@ std::vector<real_t> omp_evaluate_many(const CompactStorage& storage,
 /// with a static schedule, and every thread accumulates into the disjoint
 /// `out` range of its own blocks — no reduction, no barrier until the
 /// implicit one at region end. The EvaluationPlan for (d, n) is fetched
-/// once and shared read-only by all threads.
+/// once and shared read-only by all threads. Each block runs through the
+/// SoA kernel (evaluate_block_soa): every OpenMP pool thread transposes
+/// into its own thread-local PointBlock arena, which persists across
+/// parallel regions, so steady-state batches allocate nothing.
 std::vector<real_t> omp_evaluate_many_blocked(
     const CompactStorage& storage, std::span<const CoordVector> points,
     std::size_t block_size, int num_threads);

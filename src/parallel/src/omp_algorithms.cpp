@@ -202,6 +202,10 @@ std::vector<real_t> omp_evaluate_many_blocked(
   // One iteration per point block; blocks write disjoint out ranges, so
   // the reduction is barrier-free and results are bit-identical for any
   // thread count (each point always sums subspaces in enumeration order).
+  // evaluate_blocked_into transposes each block into the calling thread's
+  // persistent PointBlock arena and runs the SoA kernel on it; OpenMP keeps
+  // pool threads (and their thread-locals) alive across regions, so a
+  // steady batch stream performs no per-batch point-layout allocation.
 #pragma omp parallel for schedule(static) num_threads(num_threads)
   for (std::int64_t b = 0; b < num_blocks; ++b) {
     const std::size_t b0 = static_cast<std::size_t>(b) * block_size;

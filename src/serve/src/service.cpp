@@ -349,6 +349,11 @@ void EvalService::run_batch(std::vector<Request> batch) {
 
   const std::span<const real_t> coeffs(entry.storage.data(),
                                        entry.storage.values().size());
+  // The coalesced batch runs through the SoA batch kernel (DESIGN.md §14):
+  // each evaluating thread transposes its blocks into a thread-local
+  // PointBlock arena that outlives the batch, so steady-state serving does
+  // zero per-batch point-layout allocation (bench_serve pins this with
+  // PointBlock::allocation_count()).
   const std::vector<real_t> values = parallel::omp_evaluate_many_blocked(
       *entry.plan, coeffs, points, opts_.block_size, opts_.eval_threads);
 

@@ -10,6 +10,8 @@
 #include "csg/combination/combination_grid.hpp"
 #include "csg/core/evaluate.hpp"
 #include "csg/core/hierarchize.hpp"
+#include "csg/core/point_block.hpp"
+#include "csg/core/simd.hpp"
 #include "csg/io/serialize.hpp"
 #include "csg/parallel/omp_algorithms.hpp"
 #include "csg/testing/compare.hpp"
@@ -246,6 +248,88 @@ OracleResult check_evaluate_parity(const CompactStorage& coeffs,
   return r;
 }
 
+namespace {
+
+/// Restores the process-wide kernel selection when a differential oracle
+/// that flips it (check_eval_soa_parity) leaves scope, pass or fail.
+class KernelGuard {
+ public:
+  KernelGuard() : saved_(eval_kernel()) {}
+  ~KernelGuard() { set_eval_kernel(saved_); }
+  KernelGuard(const KernelGuard&) = delete;
+  KernelGuard& operator=(const KernelGuard&) = delete;
+
+ private:
+  EvalKernel saved_;
+};
+
+}  // namespace
+
+OracleResult check_eval_soa_parity(const CompactStorage& coeffs,
+                                   std::span<const CoordVector> points,
+                                   const OracleOptions& opts) {
+  OracleResult r;
+  const std::span<const real_t> raw(coeffs.data(), coeffs.values().size());
+  const auto plan = EvaluationPlan::shared(coeffs.grid());
+
+  std::vector<real_t> ref(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p)
+    ref[p] = evaluate(coeffs, points[p]);
+
+  auto compare_values = [&](std::span<const real_t> got,
+                            const std::string& what) {
+    if (!r.ok) return;
+    if (got.size() != ref.size()) {
+      r.ok = false;
+      r.detail = what + " returned " + std::to_string(got.size()) +
+                 " values for " + std::to_string(ref.size()) + " points";
+      return;
+    }
+    for (std::size_t p = 0; p < ref.size(); ++p) {
+      ++r.comparisons;
+      if (!close(ref[p], got[p], opts.exact_ulps, 0)) {
+        std::ostringstream os;
+        os << what << " disagrees at point " << p << ": "
+           << describe_mismatch(ref[p], got[p]);
+        r.ok = false;
+        r.detail = os.str();
+        return;
+      }
+    }
+  };
+
+  // Block sweep straddling the lane width: partial tail lanes, single-point
+  // blocks, one block holding everything.
+  const std::size_t lane = kPointBlockLane;
+  const std::size_t sweep[] = {1,        lane - 1,          lane,
+                               lane + 1, 3 * lane,          points.size() + 3};
+  KernelGuard guard;
+  for (const EvalKernel kernel : {EvalKernel::kScalar, EvalKernel::kSoa}) {
+    set_eval_kernel(kernel);
+    const char* name = kernel == EvalKernel::kSoa ? "soa" : "scalar";
+    for (const std::size_t block : sweep) {
+      compare_values(evaluate_many_blocked(coeffs, points, block),
+                     std::string("evaluate vs blocked[") + name +
+                         "](block=" + std::to_string(block) + ")");
+    }
+    compare_values(
+        parallel::omp_evaluate_many_blocked(*plan, raw, points, lane + 1,
+                                            opts.threads),
+        std::string("evaluate vs omp_blocked[") + name + "]");
+  }
+
+  // Direct kernel call on a hand-built PointBlock: the accumulator lanes for
+  // the real points must match the walker; the padded tail is scratch.
+  if (!points.empty()) {
+    PointBlock block;
+    block.assign(coeffs.dim(), points);
+    evaluate_block_soa(*plan, raw, block);
+    compare_values(std::span<const real_t>(block.accum(), points.size()),
+                   "evaluate vs evaluate_block_soa(direct)");
+  }
+  return r;
+}
+
 OracleResult check_serialize_round_trip(const CompactStorage& values) {
   OracleResult r;
   std::stringstream blob;
@@ -364,6 +448,7 @@ OracleResult check_all(const CompactStorage& nodal, std::mt19937_64& rng,
   hierarchize(coeffs);
   const auto pts = random_points(rng, nodal.dim(), 48);
   r.merge(check_evaluate_parity(coeffs, pts, opts));
+  r.merge(check_eval_soa_parity(coeffs, pts, opts));
   r.merge(check_serialize_round_trip(coeffs));
   return r;
 }

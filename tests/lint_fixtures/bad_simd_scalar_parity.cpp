@@ -1,0 +1,27 @@
+// csg-lint fixture: simd-scalar-parity must flag both loops below.
+// A vectorized kernel in src/core without a named scalar reference in the
+// same TU has no differential-testing partner: nothing pins its results
+// bit for bit, so a miscompiled or edited lane silently changes answers.
+#include <cstddef>
+
+void kernel_untagged(double* a, std::size_t n) {
+#pragma omp simd
+  for (std::size_t p = 0; p < n; ++p)  // BAD: no scalar-fallback tag
+    a[p] += 1.0;
+}
+
+void kernel_bogus_tag(double* a, std::size_t n) {
+  // scalar fallback: reference_that_does_not_exist
+#pragma omp simd
+  for (std::size_t p = 0; p < n; ++p)  // BAD: named reference absent
+    a[p] *= 2.0;
+}
+
+double scalar_add_one(double x) { return x + 1.0; }
+
+void kernel_fine(double* a, std::size_t n) {
+  // scalar fallback: scalar_add_one
+#pragma omp simd
+  for (std::size_t p = 0; p < n; ++p)  // GOOD: partner lives in this TU
+    a[p] = scalar_add_one(a[p]);
+}

@@ -3,8 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "csg/core/hierarchize.hpp"
+#include "csg/core/point_block.hpp"
+#include "csg/core/simd.hpp"
+#include "csg/testing/generators.hpp"
+#include "csg/testing/oracles.hpp"
+#include "csg/testing/property.hpp"
 #include "csg/workloads/functions.hpp"
 #include "csg/workloads/sampling.hpp"
 
@@ -12,6 +18,13 @@ namespace csg {
 namespace {
 
 using workloads::TestFunction;
+
+/// Restores the process-wide kernel selection on scope exit so a failing
+/// assertion cannot leak a forced kernel into later tests.
+struct KernelGuard {
+  EvalKernel saved = eval_kernel();
+  ~KernelGuard() { set_eval_kernel(saved); }
+};
 
 CompactStorage compressed(const TestFunction& f, dim_t d, level_t n) {
   CompactStorage s(d, n);
@@ -111,6 +124,140 @@ TEST(Evaluate, HigherDimensionalErrorIsControlled) {
   for (const CoordVector& x : workloads::halton_points(d, 300))
     err = std::max(err, std::abs(evaluate(s, x) - f(x)));
   EXPECT_LT(err, 0.05);
+}
+
+TEST(EvaluateSoa, KernelSelectionApi) {
+  KernelGuard guard;
+  set_eval_kernel(EvalKernel::kScalar);
+  EXPECT_EQ(eval_kernel(), EvalKernel::kScalar);
+  EXPECT_FALSE(eval_uses_soa());
+  set_eval_kernel(EvalKernel::kSoa);
+  EXPECT_EQ(eval_kernel(), EvalKernel::kSoa);
+  EXPECT_TRUE(eval_uses_soa());
+  set_eval_kernel(EvalKernel::kAuto);
+  EXPECT_EQ(eval_kernel(), EvalKernel::kAuto);
+}
+
+TEST(EvaluateSoa, BitIdenticalToScalarAcrossBlockSizes) {
+  const CompactStorage s = compressed(workloads::oscillatory(4), 4, 5);
+  const auto pts = workloads::uniform_points(4, 3 * kPointBlockLane + 5, 23);
+  KernelGuard guard;
+  for (const std::size_t block :
+       {std::size_t{1}, kPointBlockLane - 1, kPointBlockLane,
+        kPointBlockLane + 1, pts.size() + 40}) {
+    set_eval_kernel(EvalKernel::kScalar);
+    const auto scalar = evaluate_many_blocked(s, pts, block);
+    set_eval_kernel(EvalKernel::kSoa);
+    const auto soa = evaluate_many_blocked(s, pts, block);
+    ASSERT_EQ(soa.size(), scalar.size());
+    for (std::size_t p = 0; p < pts.size(); ++p)
+      EXPECT_EQ(soa[p], scalar[p]) << "block=" << block << " point " << p;
+  }
+}
+
+TEST(EvaluateSoa, BoundaryAndGridLinePoints) {
+  // Points exactly on the 0/1 domain boundary and on dyadic grid lines sit
+  // on a subspace support edge: the hat product is an exact 0 there, and
+  // the branch-free select must reproduce the scalar path bit for bit.
+  const CompactStorage s = compressed(workloads::simulation_field(2), 2, 5);
+  const std::vector<CoordVector> pts{
+      {0.0, 0.0},   {1.0, 1.0},  {0.0, 1.0},    {0.5, 0.5},
+      {0.25, 0.75}, {0.5, 0.31}, {0.125, 0.625}, {1.0, 0.41},
+      {0.0, 0.99},  {0.875, 0.0}};
+  KernelGuard guard;
+  set_eval_kernel(EvalKernel::kSoa);
+  const auto soa = evaluate_many_blocked(s, pts, 4);
+  for (std::size_t p = 0; p < pts.size(); ++p)
+    EXPECT_EQ(soa[p], evaluate(s, pts[p])) << "point " << p;
+  EXPECT_EQ(soa[0], 0.0);
+  EXPECT_EQ(soa[1], 0.0);
+  EXPECT_EQ(soa[2], 0.0);
+}
+
+TEST(EvaluateSoa, DegenerateShapes) {
+  KernelGuard guard;
+  set_eval_kernel(EvalKernel::kSoa);
+  {
+    // d = 1, n = 1: a single basis function.
+    CompactStorage s(1, 1);
+    s[0] = 2.0;
+    const std::vector<CoordVector> pts{{0.5}, {0.25}, {0.0}, {1.0}};
+    const auto got = evaluate_many_blocked(s, pts, 3);
+    EXPECT_EQ(got[0], 2.0);
+    EXPECT_EQ(got[1], 1.0);
+    EXPECT_EQ(got[2], 0.0);
+    EXPECT_EQ(got[3], 0.0);
+  }
+  {
+    // Single point, block far larger than the point count.
+    const CompactStorage s = compressed(workloads::gaussian_bump(3), 3, 4);
+    const std::vector<CoordVector> one{{0.3, 0.6, 0.9}};
+    const auto got = evaluate_many_blocked(s, one, 1024);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], evaluate(s, one[0]));
+  }
+  {
+    // Empty point span: no blocks, no output.
+    const CompactStorage s = compressed(workloads::gaussian_bump(2), 2, 3);
+    EXPECT_TRUE(evaluate_many_blocked(s, {}, 8).empty());
+  }
+}
+
+TEST(EvaluateSoa, StatsCountBlocksLanesAndSubspaces) {
+  const CompactStorage s = compressed(workloads::oscillatory(3), 3, 5);
+  const auto pts = workloads::uniform_points(3, 133, 7);
+  const auto plan = EvaluationPlan::shared(s.grid());
+  const std::size_t block = 17;
+  KernelGuard guard;
+  set_eval_kernel(EvalKernel::kSoa);
+  reset_soa_kernel_stats();
+  (void)evaluate_many_blocked(s, pts, block);
+  const SoaKernelStats stats = soa_kernel_stats();
+  std::uint64_t blocks = 0, lanes = 0;
+  for (std::size_t b0 = 0; b0 < pts.size(); b0 += block) {
+    const std::size_t len = std::min(block, pts.size() - b0);
+    ++blocks;
+    lanes += (len + kPointBlockLane - 1) / kPointBlockLane;
+  }
+  EXPECT_EQ(stats.blocks, blocks);
+  EXPECT_EQ(stats.lanes, lanes);
+  EXPECT_EQ(stats.subspaces_visited, blocks * plan->subspace_count());
+  // The scalar path must not touch the SoA tallies.
+  set_eval_kernel(EvalKernel::kScalar);
+  (void)evaluate_many_blocked(s, pts, block);
+  EXPECT_EQ(soa_kernel_stats().blocks, blocks);
+}
+
+TEST(EvaluateSoa, OracleBatteryOnRandomGrids) {
+  // Differential property: SoA vs scalar vs the reference walker over
+  // seeded random shapes, coefficients, and point clouds. Replay a failure
+  // with CSG_PROPERTY_SEED=<seed> (docs/TESTING.md).
+  const auto r = testing::run_property(
+      {"eval_soa_parity", 8}, [](std::mt19937_64& rng) {
+        const auto shape = testing::random_shape(
+            rng, {.max_dim = 6, .max_level = 6, .max_points = 40'000});
+        const CompactStorage coeffs =
+            testing::random_coefficients(rng, shape);
+        auto pts = testing::random_points(rng, shape.d, 45);
+        // Salt the cloud with exact boundary/grid-line coordinates so the
+        // support-edge selects are exercised every iteration.
+        pts.push_back(CoordVector(shape.d, 0.0));
+        pts.push_back(CoordVector(shape.d, 1.0));
+        pts.push_back(CoordVector(shape.d, 0.5));
+        const auto res = testing::check_eval_soa_parity(coeffs, pts);
+        return res.ok ? std::string{} : res.detail;
+      });
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(EvaluateSoaDeath, BlockDimensionMismatchAborts) {
+  const CompactStorage s = compressed(workloads::gaussian_bump(2), 2, 3);
+  const auto plan = EvaluationPlan::shared(s.grid());
+  const std::span<const real_t> coeffs(s.data(), s.values().size());
+  PointBlock block;
+  const std::vector<CoordVector> pts{{0.5, 0.5, 0.5}};
+  block.assign(3, pts);
+  EXPECT_DEATH(evaluate_block_soa(*plan, coeffs, block), "precondition");
 }
 
 TEST(EvaluateDeath, DimensionMismatchAborts) {

@@ -39,6 +39,11 @@ Rules (catalog and suppression policy in docs/STATIC_ANALYSIS.md):
                          csg::Mutex member tied to state or methods by a
                          CSG_* annotation, and no "must hold the mutex"
                          comments where CSG_REQUIRES belongs
+  simd-scalar-parity     every `#pragma omp simd` loop in src/core carries
+                         an adjacent `// scalar fallback: <name>` comment
+                         naming the scalar reference implementation kept in
+                         the same TU, so a vectorized kernel can never lose
+                         its differential-testing partner silently
 
 Findings are suppressed per site, never blanket:
   code();  // csg-lint: allow(rule-name) -- reason
@@ -266,7 +271,9 @@ class ImplicitNarrowingRule(Rule):
     # casts the compiler's -Wconversion lane enforces anyway).
     WIDE = re.compile(
         r"l1_norm\s*\(|num_points\s*\(|group_offset\s*\(|memory_bytes\s*\(|"
-        r"subspace_index\s*\(|shard_hash\s*\(|flat_index_t|index1d_t|uint64"
+        r"subspace_index\s*\(|shard_hash\s*\(|flat_index_t|index1d_t|uint64|"
+        # SoA batch-kernel sizes (PointBlock/EvaluationPlan) are std::size_t.
+        r"padded_size\s*\(|subspace_count\s*\("
     )
 
     def applies(self, relpath):
@@ -532,6 +539,50 @@ class MutexGuardAnnotationsRule(Rule):
         return findings
 
 
+class SimdScalarParityRule(Rule):
+    name = "simd-scalar-parity"
+    description = (
+        "`#pragma omp simd` in src/core needs an adjacent `// scalar "
+        "fallback: <name>` comment whose named reference lives in the "
+        "same TU"
+    )
+
+    # The pragma is code (it survives masking); the tag is a comment, so it
+    # is read from the raw lines. Up to three lines of separation allows a
+    # short explanatory comment between tag and pragma.
+    PRAGMA = re.compile(r"#\s*pragma\s+omp\s+simd\b")
+    FALLBACK = re.compile(r"//\s*scalar fallback:\s*(\w+)")
+
+    def applies(self, relpath):
+        return relpath.replace(os.sep, "/").startswith("src/core/")
+
+    def run(self, src):
+        findings = []
+        for i, line in enumerate(src.masked_lines):
+            if not self.PRAGMA.search(line):
+                continue
+            name = None
+            for k in range(max(0, i - 3), i + 1):
+                m = self.FALLBACK.search(src.raw_lines[k])
+                if m:
+                    name = m.group(1)
+            if name is None:
+                findings.append(Finding(
+                    self.name, src.relpath, i + 1,
+                    "`#pragma omp simd` without a `// scalar fallback: "
+                    "<name>` comment: every vectorized loop must name the "
+                    "scalar reference the differential tests pin it against",
+                ))
+            elif not re.search(r"\b" + re.escape(name) + r"\b", src.masked):
+                findings.append(Finding(
+                    self.name, src.relpath, i + 1,
+                    f"scalar fallback `{name}` is not defined or referenced "
+                    "in this translation unit — the vectorized loop has "
+                    "lost its bit-identity partner",
+                ))
+        return findings
+
+
 class HeaderSelfContainedRule(Rule):
     """Compiles every public header standalone; not a per-file text rule."""
 
@@ -594,7 +645,7 @@ class HeaderSelfContainedRule(Rule):
 def text_rules(_args):
     return [ShiftWidthRule(), ImplicitNarrowingRule(), RawAllocRule(),
             OmpLoopCounterRule(), PragmaOnceRule(), BenchSeedRule(),
-            MutexGuardAnnotationsRule()]
+            MutexGuardAnnotationsRule(), SimdScalarParityRule()]
 
 
 def collect_sources(root):
@@ -678,6 +729,7 @@ FIXTURES = {
     "pragma-once": "bad_pragma_once.hpp",
     "bench-seed": "bad_bench_seed.cpp",
     "mutex-guard-annotations": "bad_mutex_guard.cpp",
+    "simd-scalar-parity": "bad_simd_scalar_parity.cpp",
 }
 
 

@@ -62,7 +62,9 @@ args_smoke_bench_ablation_binmat="--level 4 --dmax 6"
 args_smoke_bench_ablation_sharedl="--level 4 --points 64"
 args_smoke_bench_ablation_blocking="--dims 4 --level 6 --points 512"
 args_smoke_bench_ablation_traversal="--level 4"
-args_smoke_bench_eval_plan="--dims 4 --level 7 --points 2000"
+# --block is explicit: the soa/* work counters are exact functions of
+# (points, block, plan) and bench_compare gates them at 1e-6.
+args_smoke_bench_eval_plan="--dims 4 --level 7 --points 2000 --block 64"
 args_smoke_bench_serve="--dims 3 --level 4 --requests 256 --batch 32 --queue 64 --producers 2 --workers 2"
 args_smoke_bench_net="--dims 3 --level 4 --requests 256 --points 8 --clients 2 --workers 2 --in-flight 4"
 args_smoke_bench_ext_fermi="--level 4 --points 64"
